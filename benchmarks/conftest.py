@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+The synthesis sweep over all unique benchmark commands is expensive,
+so it runs once per session and is shared by every table benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.synthesis import SynthesisConfig
+from repro.evaluation.synthesis_sweep import sweep_commands
+
+
+@pytest.fixture(scope="session")
+def synth_config() -> SynthesisConfig:
+    return SynthesisConfig(max_rounds=6, patience=2, gradient_steps=2,
+                           pairs_per_shape=2, seed=2024)
+
+
+@pytest.fixture(scope="session")
+def full_sweep(synth_config):
+    """Synthesis results for every unique command in the 70 scripts."""
+    return sweep_commands(config=synth_config, scale=40, seed=3)

@@ -1,0 +1,41 @@
+"""Ablation: candidate-pool size (max combiner size) vs synthesis cost.
+
+Mirrors Table 10's search-space column: the pool grows exponentially
+with the size bound, and synthesis cost follows; correctness for the
+benchmark commands is already reached at size 6 (Proposition B.7
+guarantees size >= 6 suffices for the representative combiners).
+"""
+
+import pytest
+
+from repro.core.dsl import all_candidates, search_space_counts
+from repro.core.synthesis import SynthesisConfig, synthesize
+from repro.shell import Command
+
+
+@pytest.mark.parametrize("max_size", [5, 6])
+def test_pool_growth_and_synthesis(benchmark, max_size):
+    # max_size 7 is exercised by the session-wide sweep; benchmarking it
+    # here would redo a 26k-candidate search from scratch
+    counts = search_space_counts(("\n", " "), max_size=max_size)
+    pool = len(all_candidates(("\n", " "), max_size=max_size))
+    assert pool == sum(counts)
+
+    config = SynthesisConfig(max_size=max_size, max_rounds=3, patience=1,
+                             gradient_steps=1, pairs_per_shape=2, seed=31)
+
+    def run():
+        return synthesize(Command(["uniq", "-c"]), config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    if max_size >= 6:
+        # stitch2 ' ' add first has size 5; size-6 pools must find it
+        assert result.ok
+        assert "stitch2" in result.combiner.primary.op.pretty()
+
+
+def test_pool_sizes_are_exponential():
+    sizes = [len(all_candidates(("\n", " "), max_size=s))
+             for s in (5, 6, 7)]
+    assert sizes[0] < sizes[1] < sizes[2]
+    assert sizes[2] > 4 * sizes[1]

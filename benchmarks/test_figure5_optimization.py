@@ -1,0 +1,46 @@
+"""Figure 5: the effect of intermediate combiner elimination.
+
+Figure 5 contrasts the unoptimized dataflow (a combiner after every
+parallel stage, 5b) with the optimized one (substreams feed the next
+parallel stage directly, 5c).  This bench measures both dataflows on
+the section 2 pipeline and asserts the structural difference plus
+output equality; the timing columns show the overhead the optimizer
+removes.
+"""
+
+from repro import parallelize
+from repro.shell import Pipeline
+from repro.unixsim import ExecContext
+from repro.workloads import datagen
+
+WF = ("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | "
+      "sort -rn")
+SCALE = 1500
+
+
+def _files():
+    return {"input.txt": datagen.book_text(SCALE, seed=12)}
+
+
+def _serial_output(files):
+    ctx = ExecContext(fs=dict(files))
+    return Pipeline.from_string(WF, env={"IN": "input.txt"},
+                                context=ctx).run()
+
+
+def test_unoptimized_dataflow(benchmark, synth_config):
+    files = _files()
+    pp = parallelize(WF, k=4, files=files, env={"IN": "input.txt"},
+                     engine="processes", optimize=False, config=synth_config)
+    out = benchmark.pedantic(pp.run, rounds=1, iterations=1)
+    assert out == _serial_output(files)
+    assert pp.plan.eliminated == 0
+
+
+def test_optimized_dataflow(benchmark, synth_config):
+    files = _files()
+    pp = parallelize(WF, k=4, files=files, env={"IN": "input.txt"},
+                     engine="processes", optimize=True, config=synth_config)
+    out = benchmark.pedantic(pp.run, rounds=1, iterations=1)
+    assert out == _serial_output(files)
+    assert pp.plan.eliminated >= 1  # Figure 5c: combiner removed

@@ -1,0 +1,49 @@
+"""Table 10: per-command synthesis results.
+
+Checks the per-command artifacts the paper reports: exact search-space
+sizes (2700 / 26404 / 110444 by delimiter-set cardinality) and the
+synthesized plausible combiners for the commands the paper calls out.
+"""
+
+from repro.core.dsl.ast import Back, Add, Concat, Merge, Rerun, Stitch, Stitch2
+from repro.evaluation.paper_data import SEARCH_SPACE_BY_DELIMS
+from repro.evaluation.synthesis_sweep import table10
+
+
+def _result(full_sweep, *argv):
+    return full_sweep[tuple(argv)]
+
+
+def test_table10_report(benchmark, full_sweep):
+    out = benchmark.pedantic(lambda: table10(full_sweep),
+                             rounds=1, iterations=1)
+    assert "Table 10" in out
+    print()
+    print("\n".join(out.splitlines()[:40]))
+
+
+def test_search_space_sizes_match_paper(full_sweep):
+    for result in full_sweep.values():
+        total = sum(result.search_space)
+        if total:
+            ndelims = len(result.delims)
+            assert total == SEARCH_SPACE_BY_DELIMS.get(ndelims, total)
+
+
+def test_headline_command_combiners(full_sweep):
+    assert isinstance(_result(full_sweep, "wc", "-l")
+                      .combiner.primary.op, Back)
+    assert isinstance(_result(full_sweep, "uniq", "-c")
+                      .combiner.primary.op, Stitch2)
+    assert isinstance(_result(full_sweep, "uniq")
+                      .combiner.primary.op, Stitch)
+    assert isinstance(_result(full_sweep, "sort", "-rn")
+                      .combiner.primary.op, Merge)
+    assert isinstance(_result(full_sweep, "tr", "A-Z", "a-z")
+                      .combiner.primary.op, Concat)
+    assert isinstance(_result(full_sweep, "tr", "-cs", "A-Za-z", "\\n")
+                      .combiner.primary.op, Rerun)
+
+
+def test_wc_searches_smallest_pool(full_sweep):
+    assert sum(_result(full_sweep, "wc", "-l").search_space) == 2700

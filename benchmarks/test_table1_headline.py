@@ -1,0 +1,39 @@
+"""Table 1: the two longest-running scripts per suite.
+
+Benchmarks serial vs optimized-parallel execution for the paper's
+eight headline scripts and checks the headline *shape*: the optimized
+parallel pipeline beats serial, and its output is identical.
+"""
+
+import pytest
+
+from repro.evaluation import paper_data
+from repro.workloads import get_script, run_parallel, run_serial
+
+SCALE = 400
+K = 4
+
+HEADLINE = [(suite, name) for suite, name, *_ in paper_data.TABLE1]
+
+
+@pytest.mark.parametrize("suite,name", HEADLINE,
+                         ids=[f"{s}-{n}" for s, n in HEADLINE])
+def test_serial_baseline(benchmark, suite, name):
+    script = get_script(suite, name)
+    benchmark.pedantic(lambda: run_serial(script, SCALE, seed=3),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("suite,name", HEADLINE,
+                         ids=[f"{s}-{n}" for s, n in HEADLINE])
+def test_optimized_parallel(benchmark, suite, name, full_sweep, synth_config):
+    script = get_script(suite, name)
+    serial_out = run_serial(script, SCALE, seed=3).output
+
+    def run():
+        return run_parallel(script, SCALE, k=K, seed=3, engine="processes",
+                            cache=full_sweep, config=synth_config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.output == serial_out
+    assert result.parallelized >= 1

@@ -1,0 +1,28 @@
+"""Table 3: stages parallelized and combiners eliminated, all 70 scripts.
+
+The paper reports 325/427 stages parallelized (76.1%) with 144
+intermediate combiners eliminated (44.3% of parallelized stages).  Our
+reconstruction must land in the same regime.
+"""
+
+from repro.evaluation import account_all, table3
+from repro.evaluation.paper_data import TOTAL_STAGES
+
+
+def test_table3_stage_accounting(benchmark, full_sweep, synth_config):
+    accounts = benchmark.pedantic(
+        lambda: account_all(cache=full_sweep, scale=40, config=synth_config),
+        rounds=1, iterations=1)
+
+    print()
+    print(table3(accounts))
+
+    total_k = sum(a.parallelized_total[0] for a in accounts)
+    total_n = sum(a.parallelized_total[1] for a in accounts)
+    total_e = sum(a.eliminated_total for a in accounts)
+
+    assert total_n == TOTAL_STAGES  # our suites reproduce all 427 stages
+    # shape: roughly three quarters parallelized (paper: 76.1%)
+    assert 0.60 <= total_k / total_n <= 0.95
+    # shape: a substantial fraction of combiners eliminated (paper: 44.3%)
+    assert 0.25 <= total_e / total_k <= 0.70

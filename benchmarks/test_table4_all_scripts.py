@@ -1,0 +1,38 @@
+"""Table 4: T_orig / u1 / u_k / T_k across all 70 benchmark scripts.
+
+Absolute numbers differ from the paper (Python simulator, laptop scale)
+but the aggregate shape must hold: the optimized median speedup beats
+the unoptimized median, and both beat serial on the long-running
+scripts.
+"""
+
+import statistics
+
+from repro.evaluation.performance import measure_all, table4
+from repro.workloads import ALL_SCRIPTS
+
+SCALE = 2500
+K = 16
+
+
+def test_table4_full_sweep(benchmark, full_sweep, synth_config):
+    perfs = benchmark.pedantic(
+        lambda: measure_all(ks=(1, K), cache=full_sweep, scale=SCALE,
+                            engine="simulated", config=synth_config),
+        rounds=1, iterations=1)
+
+    print()
+    print(table4(perfs, k=K))
+
+    assert len(perfs) == len(ALL_SCRIPTS)
+    # long-running shape: among the slowest third, parallel wins clearly
+    slowest = sorted(perfs, key=lambda p: p.u1, reverse=True)
+    top = slowest[: len(slowest) // 3]
+    med_opt = statistics.median(p.opt_speedup(K) for p in top)
+    med_unopt = statistics.median(p.unopt_speedup(K) for p in top)
+    assert med_opt > 1.2, f"optimized median speedup {med_opt:.2f}"
+    assert med_unopt > 1.0, f"unoptimized median speedup {med_unopt:.2f}"
+    # optimized should not lose to unoptimized overall (paper: 7.1 vs 5.3)
+    all_opt = statistics.median(p.opt_speedup(K) for p in perfs)
+    all_unopt = statistics.median(p.unopt_speedup(K) for p in perfs)
+    assert all_opt >= 0.9 * all_unopt

@@ -1,0 +1,32 @@
+"""Table 5: unoptimized parallel scaling u1..u_k.
+
+Checks the scaling series shape on the section 2 example (wf.sh) and a
+CSV analytics script: times decrease (or at worst plateau) as k grows.
+"""
+
+import pytest
+
+from repro.workloads import get_script, run_parallel, run_serial
+
+SCALE = 500
+KS = (1, 2, 4)
+
+SCRIPTS = [("oneliners", "wf.sh"), ("analytics-mts", "2.sh")]
+
+
+@pytest.mark.parametrize("suite,name", SCRIPTS,
+                         ids=[f"{s}-{n}" for s, n in SCRIPTS])
+@pytest.mark.parametrize("k", KS)
+def test_unoptimized_scaling(benchmark, suite, name, k, full_sweep,
+                             synth_config):
+    script = get_script(suite, name)
+    serial_out = run_serial(script, SCALE, seed=3).output
+
+    def run():
+        return run_parallel(script, SCALE, k=k, seed=3, engine="processes",
+                            optimize=False, cache=full_sweep,
+                            config=synth_config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.output == serial_out
+    assert result.eliminated == 0  # unoptimized plans keep every combiner

@@ -1,0 +1,33 @@
+"""Table 6: optimized parallel scaling T1..T_k (Figure 5c dataflow).
+
+Same series as Table 5 but with intermediate combiner elimination; the
+paper's headline is that T_k <= u_k because concat stages feed the
+next parallel stage directly.
+"""
+
+import pytest
+
+from repro.workloads import get_script, run_parallel, run_serial
+
+SCALE = 500
+KS = (1, 2, 4)
+
+SCRIPTS = [("oneliners", "wf.sh"), ("analytics-mts", "2.sh")]
+
+
+@pytest.mark.parametrize("suite,name", SCRIPTS,
+                         ids=[f"{s}-{n}" for s, n in SCRIPTS])
+@pytest.mark.parametrize("k", KS)
+def test_optimized_scaling(benchmark, suite, name, k, full_sweep,
+                           synth_config):
+    script = get_script(suite, name)
+    serial_out = run_serial(script, SCALE, seed=3).output
+
+    def run():
+        return run_parallel(script, SCALE, k=k, seed=3, engine="processes",
+                            optimize=True, cache=full_sweep,
+                            config=synth_config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.output == serial_out
+    assert result.eliminated >= 1  # the optimization actually fires

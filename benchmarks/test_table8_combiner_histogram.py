@@ -1,0 +1,26 @@
+"""Table 8: histogram of synthesized plausible combiners.
+
+Paper: concat 81, rerun 30, merge 16, (back '\\n' add) 12, plus
+first/second/fuse/stitch/stitch2 tails.  The shape to reproduce:
+concat dominates by a wide margin, rerun/merge/back-add follow, and
+the structural combiners appear for the uniq family.
+"""
+
+from repro.evaluation.synthesis_sweep import summarize, table8
+
+
+def test_table8_histogram(benchmark, full_sweep):
+    summary = benchmark.pedantic(lambda: summarize(full_sweep),
+                                 rounds=1, iterations=1)
+    print()
+    print(table8(full_sweep))
+
+    hist = summary.histogram
+    assert hist.most_common(1)[0][0] == "concat"
+    assert hist["concat"] >= 3 * hist["merge"]
+    assert hist["rerun"] > 0
+    assert hist["merge"] > 0
+    assert hist["back-add"] > 0
+    assert hist["stitch"] >= 1      # uniq
+    assert hist["stitch2"] >= 1     # uniq -c
+    assert hist["first/second"] >= 1  # head -n 1 / tail -n 1

@@ -1,0 +1,30 @@
+"""Table 9: the unsupported commands.
+
+The paper reports exactly 8 unsupported commands: seven for which no
+combiner exists in the DSL (sed Nd, tail +N) and one whose inputs the
+generator never hits (awk '$1 == 2 ...').  Both the set and the
+failure *reasons* must reproduce.
+"""
+
+from repro.core.synthesis import INSUFFICIENT_INPUTS, NO_COMBINER
+from repro.evaluation.synthesis_sweep import summarize, table9
+
+
+def test_table9_unsupported_commands(benchmark, full_sweep):
+    summary = benchmark.pedantic(lambda: summarize(full_sweep),
+                                 rounds=1, iterations=1)
+    print()
+    print(table9(full_sweep))
+
+    failures = dict(summary.failures)
+    assert len(failures) == 8, sorted(failures)
+
+    no_combiner = {cmd for cmd, status in failures.items()
+                   if status == NO_COMBINER}
+    assert no_combiner == {"sed 1d", "sed 2d", "sed 3d", "sed 4d",
+                           "sed 5d", "tail +2", "tail +3"}
+
+    insufficient = {cmd for cmd, status in failures.items()
+                    if status == INSUFFICIENT_INPUTS}
+    assert len(insufficient) == 1
+    assert next(iter(insufficient)).startswith("awk")

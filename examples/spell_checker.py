@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The classic ``spell`` pipeline with a dictionary file.
+
+Exercises the corners of the system the word-frequency quickstart does
+not: unicode transliteration (``iconv``), overstrike removal
+(``col -bx``), and the sorted-input ``comm -23 - dict`` stage — whose
+synthesis relies on the preprocessing probes discovering that the
+command demands *sorted* input streams.
+
+Run:  python examples/spell_checker.py
+"""
+
+from repro import ExecContext, Pipeline, parallelize
+from repro.workloads import datagen
+
+PIPELINE = ("cat $IN | iconv -f utf-8 -t ascii//translit | col -bx | "
+            "tr -cs A-Za-z '\\n' | tr A-Z a-z | tr -d '[:punct:]' | "
+            "sort | uniq | comm -23 - $dict")
+
+
+def main() -> None:
+    document = datagen.book_text(2500, seed=3)
+    # sprinkle misspellings the dictionary will not contain
+    document += "teh quikc borwn foks\nrecieve seperate untill\n"
+    files = {"doc.txt": document, "dict.txt": datagen.dictionary_file()}
+    env = {"IN": "doc.txt", "dict": "dict.txt"}
+
+    pp = parallelize(PIPELINE, k=4, files=files, env=env)
+    print("Compiled plan:")
+    for line in pp.plan.describe():
+        print("  " + line)
+
+    misspelled = pp.run()
+
+    serial = Pipeline.from_string(
+        PIPELINE, env=env, context=ExecContext(fs=dict(files)))
+    assert misspelled == serial.run()
+
+    print(f"\n{len(misspelled.splitlines())} words not in the dictionary, "
+          "including:")
+    for word in misspelled.splitlines()[:10]:
+        print("  " + word)
+
+
+if __name__ == "__main__":
+    main()

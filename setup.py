@@ -1,0 +1,9 @@
+"""Legacy setup shim so editable installs work without the wheel package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this on
+offline machines; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""KumQuat reproduction: automatic synthesis of combiners for
+data-parallel Unix commands and pipelines (Shen, Rinard, Vasilakis —
+PPoPP 2022, arXiv:2012.15443).
+
+Quickstart
+----------
+
+>>> from repro import parallelize
+>>> pp = parallelize("cat $IN | tr A-Z a-z | sort | uniq -c | sort -rn",
+...                  k=4, files={"input.txt": "B\\na\\nb\\nA\\n"},
+...                  env={"IN": "input.txt"})
+>>> out = pp.run()
+
+The top-level helpers wrap the full stack: pipeline parsing
+(:mod:`repro.shell`), per-command combiner synthesis
+(:mod:`repro.core.synthesis`), plan compilation with combiner
+elimination (:mod:`repro.parallel.planner`), and parallel execution
+(:mod:`repro.parallel.executor`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .core.dsl import Combiner, EvalEnv
+from .core.synthesis import (
+    CompositeCombiner,
+    SynthesisConfig,
+    SynthesisResult,
+    synthesize,
+)
+from .parallel import (
+    ParallelPipeline,
+    PipelinePlan,
+    SERIAL,
+    compile_pipeline,
+    split_stream,
+    synthesize_pipeline,
+)
+from .shell import Command, Pipeline
+from .unixsim import ExecContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Combiner", "Command", "CompositeCombiner", "EvalEnv", "ExecContext",
+    "ParallelPipeline", "Pipeline", "PipelinePlan", "SynthesisConfig",
+    "SynthesisResult", "compile_pipeline", "parallelize", "split_stream",
+    "synthesize", "synthesize_pipeline", "__version__",
+]
+
+
+def parallelize(
+    pipeline_text: str,
+    k: int = 4,
+    files: Optional[Dict[str, str]] = None,
+    env: Optional[Dict[str, str]] = None,
+    engine: str = SERIAL,
+    optimize: bool = True,
+    config: Optional[SynthesisConfig] = None,
+    results: Optional[Dict[Tuple[str, ...], SynthesisResult]] = None,
+) -> ParallelPipeline:
+    """One-shot: parse, synthesize combiners, compile, and wrap for execution.
+
+    Args:
+        pipeline_text: the shell pipeline, e.g. ``"cat $IN | sort | uniq -c"``.
+        k: degree of data parallelism per stage.
+        files: virtual filesystem contents (``$IN`` targets, dictionaries).
+        env: variables for ``$VAR`` expansion.
+        engine: ``"serial"``, ``"threads"``, or ``"processes"``.
+        optimize: apply intermediate combiner elimination (Theorem 5).
+        config: synthesis knobs; defaults are laptop-friendly.
+        results: optional pre-computed synthesis cache keyed by
+            :meth:`Command.key` — pass the same dict across calls to
+            synthesize each unique command only once.
+    """
+    context = ExecContext(fs=dict(files or {}), env=dict(env or {}))
+    pipeline = Pipeline.from_string(pipeline_text, env=env, context=context)
+    results = synthesize_pipeline(pipeline, config=config, cache=results)
+    plan = compile_pipeline(pipeline, results, optimize=optimize)
+    return ParallelPipeline(plan, k=k, engine=engine)

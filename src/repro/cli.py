@@ -1,0 +1,147 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli synthesize "uniq -c"
+    python -m repro.cli explain "cat in.txt | sort | uniq -c" --file in.txt
+    python -m repro.cli run "cat in.txt | sort | uniq -c" --file in.txt -k 4
+
+Subcommands:
+
+* ``synthesize CMD`` — synthesize and print the combiner for one
+  command (optionally persisting to ``--store combiners.json``).
+* ``explain PIPELINE`` — synthesize every stage and print the compiled
+  parallel plan without running it.
+* ``run PIPELINE`` — compile and execute the pipeline with ``-k``-way
+  parallelism, writing the output stream to stdout (or ``--output``).
+
+Files referenced by the pipeline are loaded from the real filesystem
+into the sandboxed virtual filesystem with ``--file PATH`` (repeatable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional
+
+from . import parallelize
+from .core.synthesis import CombinerStore, SynthesisConfig, synthesize
+from .shell import Command
+
+
+def _load_files(paths: List[str]) -> Dict[str, str]:
+    fs: Dict[str, str] = {}
+    for path in paths:
+        with open(path, "r") as fh:
+            fs[os.path.basename(path)] = fh.read()
+    return fs
+
+
+def _config(args) -> SynthesisConfig:
+    return SynthesisConfig(max_size=args.max_size, seed=args.seed)
+
+
+def cmd_synthesize(args) -> int:
+    command = Command.from_string(args.command)
+    store: Optional[CombinerStore] = None
+    if args.store:
+        store = CombinerStore(args.store)
+        cached = store.get(command.key())
+        if cached is not None:
+            print(f"(cached) {cached.command_display}: "
+                  f"{'; '.join(cached.pretty_survivors()) if cached.ok else cached.status}")
+            return 0
+    result = synthesize(command, _config(args))
+    rec, struct, run = result.search_space
+    print(f"command:      {result.command_display}")
+    print(f"search space: {rec + struct + run} candidates "
+          f"(delims {[repr(d)[1:-1] for d in result.delims]})")
+    print(f"executions:   {result.executions} in {result.elapsed:.2f}s")
+    if result.ok:
+        print("plausible combiners:")
+        for pretty in result.pretty_survivors():
+            print(f"  {pretty}")
+    else:
+        print(f"UNSUPPORTED ({result.status}): {result.reason}")
+    if store is not None:
+        store.put(command.key(), result)
+        store.save()
+        print(f"stored in {args.store}")
+    return 0 if result.ok else 1
+
+
+def _build(args):
+    files = _load_files(args.file or [])
+    env = dict(kv.split("=", 1) for kv in (args.env or []))
+    return parallelize(args.pipeline, k=args.k, files=files, env=env,
+                       engine=args.engine, optimize=not args.no_optimize,
+                       config=_config(args))
+
+
+def cmd_explain(args) -> int:
+    pp = _build(args)
+    print(f"plan ({pp.plan.parallelized}/{pp.plan.num_stages} stages "
+          f"parallelized, {pp.plan.eliminated} combiners eliminated):")
+    for line in pp.plan.describe():
+        print("  " + line)
+    return 0
+
+
+def cmd_run(args) -> int:
+    pp = _build(args)
+    out = pp.run()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out)
+    else:
+        sys.stdout.write(out)
+    if args.stats and pp.last_stats:
+        for s in pp.last_stats.stages:
+            print(f"# {s.display[:40]:40s} {s.mode:11s} "
+                  f"chunks={s.chunks} {s.seconds:.3f}s", file=sys.stderr)
+        print(f"# total {pp.last_stats.seconds:.3f}s "
+              f"(k={pp.last_stats.k}, engine={pp.last_stats.engine})",
+              file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    ap.add_argument("--max-size", type=int, default=7,
+                    help="max combiner AST size (default 7)")
+    ap.add_argument("--seed", type=int, default=0, help="synthesis RNG seed")
+    sub = ap.add_subparsers(dest="subcommand", required=True)
+
+    sp = sub.add_parser("synthesize", help="synthesize one command's combiner")
+    sp.add_argument("command")
+    sp.add_argument("--store", help="JSON combiner store to read/update")
+    sp.set_defaults(func=cmd_synthesize)
+
+    for name, func in (("explain", cmd_explain), ("run", cmd_run)):
+        p = sub.add_parser(name)
+        p.add_argument("pipeline")
+        p.add_argument("-k", type=int, default=4, help="parallelism degree")
+        p.add_argument("--file", action="append",
+                       help="load a real file into the virtual fs (repeatable)")
+        p.add_argument("--env", action="append", metavar="NAME=VALUE")
+        p.add_argument("--engine", default="serial",
+                       choices=("serial", "threads", "processes"))
+        p.add_argument("--no-optimize", action="store_true",
+                       help="disable intermediate combiner elimination")
+        if name == "run":
+            p.add_argument("--output", help="write output here, not stdout")
+            p.add_argument("--stats", action="store_true",
+                           help="print per-stage timings to stderr")
+        p.set_defaults(func=func)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

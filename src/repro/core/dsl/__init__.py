@@ -1,0 +1,47 @@
+"""The KumQuat combiner DSL: AST, semantics, legality, enumeration."""
+
+from .ast import (
+    Add,
+    Back,
+    Combiner,
+    Concat,
+    DELIMS,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Op,
+    RecOpNode,
+    Rerun,
+    RunOpNode,
+    Second,
+    Stitch,
+    Stitch2,
+    StructOpNode,
+    is_recop,
+    is_runop,
+    is_structop,
+)
+from .enumeration import (
+    DEFAULT_MAX_SIZE,
+    all_candidates,
+    rec_ops,
+    run_ops,
+    search_space_counts,
+    struct_ops,
+)
+from .equivalence import equivalent_on, probe_pairs
+from .legality import in_domain
+from .parser import CombinerParseError, parse_combiner
+from .semantics import EvalEnv, EvalError, apply_combiner, evaluate
+
+__all__ = [
+    "Add", "Back", "Combiner", "CombinerParseError", "Concat", "DELIMS",
+    "DEFAULT_MAX_SIZE", "EvalEnv", "EvalError", "First", "Front", "Fuse",
+    "Merge", "Offset", "Op", "RecOpNode", "Rerun", "RunOpNode", "Second",
+    "Stitch", "Stitch2", "StructOpNode", "all_candidates", "apply_combiner",
+    "equivalent_on", "evaluate", "in_domain", "is_recop", "is_runop",
+    "is_structop", "parse_combiner", "probe_pairs", "rec_ops", "run_ops",
+    "search_space_counts", "struct_ops",
+]

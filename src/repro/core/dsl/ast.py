@@ -1,0 +1,238 @@
+"""AST node classes for the KumQuat combiner DSL (paper Figure 3).
+
+::
+
+    g ∈ Combiner_f := b | s | r
+    b ∈ RecOp      := add | concat | first | second
+                    | front d b | back d b | fuse d b
+    s ∈ StructOp   := stitch b | stitch2 d b1 b2 | offset d b
+    r ∈ RunOp_f    := rerun_f | merge <flags>
+    d ∈ Delim      := '\\n' | '\\t' | ' ' | ','
+
+Nodes are frozen dataclasses so combiners are hashable and usable as
+dict keys throughout the synthesizer.  The combiner *size* metric is
+Definition 3.6: two (for the two stream arguments) plus the number of
+grammar productions in the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The delimiter alphabet of the DSL.
+DELIMS: Tuple[str, ...] = ("\n", "\t", " ", ",")
+
+_DELIM_NAMES = {"\n": "'\\n'", "\t": "'\\t'", " ": "' '", ",": "','"}
+
+
+class Op:
+    """Base class for all DSL operators."""
+
+    #: number of grammar productions in this subtree (Definition 3.6
+    #: counts these; a combiner's size is ``2 + productions``).
+    def productions(self) -> int:
+        raise NotImplementedError
+
+    def pretty(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+class RecOpNode(Op):
+    """Marker base for the RecOp class of operators."""
+
+
+class StructOpNode(Op):
+    """Marker base for the StructOp class of operators."""
+
+
+class RunOpNode(Op):
+    """Marker base for the RunOp class of operators."""
+
+
+# --------------------------------------------------------------------------
+# RecOp
+
+
+@dataclass(frozen=True)
+class Add(RecOpNode):
+    def productions(self) -> int:
+        return 1
+
+    def pretty(self) -> str:
+        return "add"
+
+
+@dataclass(frozen=True)
+class Concat(RecOpNode):
+    def productions(self) -> int:
+        return 1
+
+    def pretty(self) -> str:
+        return "concat"
+
+
+@dataclass(frozen=True)
+class First(RecOpNode):
+    def productions(self) -> int:
+        return 1
+
+    def pretty(self) -> str:
+        return "first"
+
+
+@dataclass(frozen=True)
+class Second(RecOpNode):
+    def productions(self) -> int:
+        return 1
+
+    def pretty(self) -> str:
+        return "second"
+
+
+@dataclass(frozen=True)
+class Front(RecOpNode):
+    delim: str
+    child: RecOpNode
+
+    def productions(self) -> int:
+        return 1 + self.child.productions()
+
+    def pretty(self) -> str:
+        return f"(front {_DELIM_NAMES[self.delim]} {self.child.pretty()})"
+
+
+@dataclass(frozen=True)
+class Back(RecOpNode):
+    delim: str
+    child: RecOpNode
+
+    def productions(self) -> int:
+        return 1 + self.child.productions()
+
+    def pretty(self) -> str:
+        return f"(back {_DELIM_NAMES[self.delim]} {self.child.pretty()})"
+
+
+@dataclass(frozen=True)
+class Fuse(RecOpNode):
+    delim: str
+    child: RecOpNode
+
+    def productions(self) -> int:
+        return 1 + self.child.productions()
+
+    def pretty(self) -> str:
+        return f"(fuse {_DELIM_NAMES[self.delim]} {self.child.pretty()})"
+
+
+# --------------------------------------------------------------------------
+# StructOp
+
+
+@dataclass(frozen=True)
+class Stitch(StructOpNode):
+    child: RecOpNode
+
+    def productions(self) -> int:
+        return 1 + self.child.productions()
+
+    def pretty(self) -> str:
+        return f"(stitch {self.child.pretty()})"
+
+
+@dataclass(frozen=True)
+class Stitch2(StructOpNode):
+    delim: str
+    head: RecOpNode
+    tail: RecOpNode
+
+    def productions(self) -> int:
+        return 1 + self.head.productions() + self.tail.productions()
+
+    def pretty(self) -> str:
+        return (f"(stitch2 {_DELIM_NAMES[self.delim]} "
+                f"{self.head.pretty()} {self.tail.pretty()})")
+
+
+@dataclass(frozen=True)
+class Offset(StructOpNode):
+    delim: str
+    child: RecOpNode
+
+    def productions(self) -> int:
+        return 1 + self.child.productions()
+
+    def pretty(self) -> str:
+        return f"(offset {_DELIM_NAMES[self.delim]} {self.child.pretty()})"
+
+
+# --------------------------------------------------------------------------
+# RunOp
+
+
+@dataclass(frozen=True)
+class Rerun(RunOpNode):
+    def productions(self) -> int:
+        return 1
+
+    def pretty(self) -> str:
+        return "rerun"
+
+
+@dataclass(frozen=True)
+class Merge(RunOpNode):
+    flags: str = ""
+
+    def productions(self) -> int:
+        return 1
+
+    def pretty(self) -> str:
+        return f"merge({self.flags!r})" if self.flags else "merge"
+
+
+# --------------------------------------------------------------------------
+# Candidate = operator + argument order
+
+
+@dataclass(frozen=True)
+class Combiner:
+    """A candidate combiner: an operator plus the argument order.
+
+    The synthesizer considers both ``g(y1, y2)`` and the swapped
+    ``g(y2, y1)`` for every operator — the paper's Table 10 lists
+    results like ``(second b a)`` and ``(rerun b a)`` that only differ
+    in argument order.
+    """
+
+    op: Op
+    swapped: bool = False
+
+    def size(self) -> int:
+        """Definition 3.6: two plus the number of productions."""
+        return 2 + self.op.productions()
+
+    def pretty(self) -> str:
+        args = "b a" if self.swapped else "a b"
+        body = self.op.pretty()
+        if body.startswith("(") and body.endswith(")"):
+            return f"({body[1:-1]} {args})"
+        return f"({body} {args})"
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def is_recop(c: Combiner) -> bool:
+    return isinstance(c.op, RecOpNode)
+
+
+def is_structop(c: Combiner) -> bool:
+    return isinstance(c.op, StructOpNode)
+
+
+def is_runop(c: Combiner) -> bool:
+    return isinstance(c.op, RunOpNode)

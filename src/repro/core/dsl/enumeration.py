@@ -1,0 +1,114 @@
+"""Bounded enumeration of the candidate combiner search space.
+
+The paper searches all combiners with at most seven AST nodes
+(Definition 3.6/3.7: ``G_n`` with ``n = 7``) over a per-command
+delimiter set.  Appendix Table 10's search-space sizes decompose as
+
+* RecOp:    ``4 · Σ_{i=0}^{4} (3·|D|)^i · 2``  (four base operators,
+  three wrapper productions per delimiter, both argument orders),
+* StructOp: stitch + stitch2 + offset over the same delimiter set,
+* RunOp:    ``{rerun, merge} · 2``.
+
+With ``|D| = 1, 2, 3`` this yields exactly the paper's
+``2700 = 968+1728+4``, ``26404 = 12440+13960+4``, and
+``110444 = 59048+51392+4``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .ast import (
+    Add,
+    Back,
+    Combiner,
+    Concat,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Op,
+    RecOpNode,
+    Rerun,
+    Second,
+    Stitch,
+    Stitch2,
+)
+
+#: Default maximum combiner size (paper: "seven or fewer nodes").
+DEFAULT_MAX_SIZE = 7
+
+_BASES: Tuple[RecOpNode, ...] = (Add(), Concat(), First(), Second())
+
+
+def rec_ops_by_productions(delims: Sequence[str],
+                           max_prod: int) -> Dict[int, List[RecOpNode]]:
+    """RecOp trees grouped by exact production count (1..max_prod)."""
+    by_prod: Dict[int, List[RecOpNode]] = {1: list(_BASES)}
+    for p in range(2, max_prod + 1):
+        layer: List[RecOpNode] = []
+        for child in by_prod[p - 1]:
+            for d in delims:
+                layer.append(Front(d, child))
+                layer.append(Back(d, child))
+                layer.append(Fuse(d, child))
+        by_prod[p] = layer
+    return by_prod
+
+
+def rec_ops(delims: Sequence[str], max_size: int = DEFAULT_MAX_SIZE) -> List[RecOpNode]:
+    max_prod = max_size - 2
+    by_prod = rec_ops_by_productions(delims, max_prod)
+    return [op for p in range(1, max_prod + 1) for op in by_prod[p]]
+
+
+def struct_ops(delims: Sequence[str],
+               max_size: int = DEFAULT_MAX_SIZE) -> List[Op]:
+    max_prod = max_size - 2
+    inner_budget = max_prod - 1  # one production spent on the StructOp itself
+    by_prod = rec_ops_by_productions(delims, max(inner_budget, 1))
+    ops: List[Op] = []
+    # stitch b
+    for p in range(1, inner_budget + 1):
+        for b in by_prod.get(p, ()):
+            ops.append(Stitch(b))
+    # stitch2 d b1 b2
+    for d in delims:
+        for p1 in range(1, inner_budget):
+            for b1 in by_prod.get(p1, ()):
+                for p2 in range(1, inner_budget - p1 + 1):
+                    for b2 in by_prod.get(p2, ()):
+                        ops.append(Stitch2(d, b1, b2))
+    # offset d b
+    for d in delims:
+        for p in range(1, inner_budget + 1):
+            for b in by_prod.get(p, ()):
+                ops.append(Offset(d, b))
+    return ops
+
+
+def run_ops(merge_flags: str = "") -> List[Op]:
+    return [Rerun(), Merge(merge_flags)]
+
+
+def all_candidates(delims: Sequence[str], merge_flags: str = "",
+                   max_size: int = DEFAULT_MAX_SIZE) -> List[Combiner]:
+    """The full candidate pool ``G_n`` including both argument orders."""
+    ops: List[Op] = []
+    ops.extend(rec_ops(delims, max_size))
+    ops.extend(struct_ops(delims, max_size))
+    ops.extend(run_ops(merge_flags))
+    out: List[Combiner] = []
+    for op in ops:
+        out.append(Combiner(op, swapped=False))
+        out.append(Combiner(op, swapped=True))
+    return out
+
+
+def search_space_counts(delims: Sequence[str],
+                        max_size: int = DEFAULT_MAX_SIZE) -> Tuple[int, int, int]:
+    """(RecOp, StructOp, RunOp) candidate counts, as in Table 10."""
+    n_rec = 2 * len(rec_ops(delims, max_size))
+    n_struct = 2 * len(struct_ops(delims, max_size))
+    return n_rec, n_struct, 4

@@ -1,0 +1,62 @@
+"""Intersection equivalence of combiners (Definition B.7/3.13).
+
+``g1 ≡∩ g2`` holds when they agree on every pair of operands in
+``L(g1) ∩ L(g2)``.  The full relation is undecidable to check
+exhaustively, so we test it on a finite probe set — sufficient for the
+synthesizer's use (deciding whether surviving candidates agree on the
+command's actual output population) and for the theorem tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from .ast import Combiner
+from .legality import in_domain
+from .semantics import EvalEnv, EvalError, apply_combiner
+
+#: probe operands exercising digits, text, tables, padding, delimiters
+DEFAULT_PROBES: Tuple[str, ...] = (
+    "1\n", "12\n", "405\n", "0\n",
+    "a\n", "b\n", "word\n", "a\nb\n", "b\nc\n", "a\na\n",
+    "hello world\n", "x y z\n", "x,y\n",
+    "      3 cat\n", "      5 cat\n", "     12 dog\ncat x\n",
+    "1 f\n2 g\n", "\n", "alpha\nbeta\n", "beta\ngamma\n",
+)
+
+
+def agree_on(c1: Combiner, c2: Combiner, y1: str, y2: str,
+             env: EvalEnv) -> Optional[bool]:
+    """Compare ``c1`` and ``c2`` on one operand pair.
+
+    Returns ``None`` when the pair is outside the shared domain,
+    otherwise whether the two evaluations produced equal output.
+    """
+    for c in (c1, c2):
+        a, b = (y2, y1) if c.swapped else (y1, y2)
+        if not (in_domain(c.op, a) and in_domain(c.op, b)):
+            return None
+    try:
+        v1 = apply_combiner(c1, y1, y2, env)
+        v2 = apply_combiner(c2, y1, y2, env)
+    except EvalError:
+        return None
+    return v1 == v2
+
+
+def equivalent_on(c1: Combiner, c2: Combiner,
+                  pairs: Iterable[Tuple[str, str]],
+                  env: Optional[EvalEnv] = None) -> bool:
+    """True when the combiners agree on every in-domain probe pair."""
+    env = env or EvalEnv()
+    for y1, y2 in pairs:
+        verdict = agree_on(c1, c2, y1, y2, env)
+        if verdict is False:
+            return False
+    return True
+
+
+def probe_pairs(operands: Iterable[str] = DEFAULT_PROBES
+                ) -> List[Tuple[str, str]]:
+    ops = list(operands)
+    return [(a, b) for a in ops for b in ops]

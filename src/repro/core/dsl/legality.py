@@ -1,0 +1,107 @@
+"""Legal-domain membership ``y ∈ L(g)`` (paper Definition B.1).
+
+Plausibility (Definition 3.9) requires both operands of every
+observation to lie in a candidate's legal domain *and* the evaluation
+to reproduce the combined output; this module implements the first
+half.
+
+Deviations from the letter of Definition B.1, chosen to match the
+paper's observed synthesis results (appendix Table 10):
+
+* ``fuse`` splits fully on the delimiter, so a trailing delimiter
+  contributes a final empty piece; only the *first* piece must be
+  nonempty.  This is what makes ``(fuse '\\n' first)`` legal on the
+  single-line outputs of ``head -n 1`` / ``tail -n 1``, as Table 10
+  reports.
+* table padding (``stitch2`` / ``offset``) may be empty — Table 10
+  reports ``(offset ' ' ...)`` plausible for ``xargs -L 1 wc -l``
+  whose output lines are unpadded.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...unixsim.sort import parse_sort_flags
+from .ast import (
+    Add,
+    Back,
+    Concat,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Op,
+    Rerun,
+    Second,
+    Stitch,
+    Stitch2,
+)
+from .semantics import del_pad, split_first
+
+
+def in_domain(op: Op, y: str) -> bool:
+    """True when ``y ∈ L(op)``."""
+    if isinstance(op, (Concat, First, Second)):
+        return True
+    if isinstance(op, Add):
+        return bool(y) and y.isdigit()
+    if isinstance(op, Front):
+        return y.startswith(op.delim) and in_domain(op.child, y[len(op.delim):])
+    if isinstance(op, Back):
+        return y.endswith(op.delim) and in_domain(op.child, y[: -len(op.delim)])
+    if isinstance(op, Fuse):
+        pieces = y.split(op.delim)
+        if len(pieces) < 2 or pieces[0] == "":
+            return False
+        return all(in_domain(op.child, p) for p in pieces)
+    if isinstance(op, Stitch):
+        return _stream_lines_ok(y, lambda line: in_domain(op.child, line))
+    if isinstance(op, Stitch2):
+        return _stream_lines_ok(y, lambda line: _table_line_ok(
+            op.delim, line, op.head, check_tail=op.tail, allow_nil=False))
+    if isinstance(op, Offset):
+        return _stream_lines_ok(y, lambda line: _table_line_ok(
+            op.delim, line, op.child, check_tail=None, allow_nil=True))
+    if isinstance(op, Rerun):
+        return y == "" or y.endswith("\n")
+    if isinstance(op, Merge):
+        return _is_sorted(op.flags, y)
+    raise TypeError(f"unknown operator {op!r}")
+
+
+def _stream_lines_ok(y: str, line_ok) -> bool:
+    if y == "\n":
+        return True
+    if not y.endswith("\n") or y == "":
+        return False
+    return all(line_ok(line) for line in y[:-1].split("\n"))
+
+
+def _table_line_ok(delim: str, line: str, head_op: Op,
+                   check_tail, allow_nil: bool) -> bool:
+    if line == "":
+        return allow_nil
+    _pad, body = del_pad(line)
+    h, t = split_first(delim, body)
+    if t is None:
+        return False
+    if not in_domain(head_op, h):
+        return False
+    if check_tail is not None:
+        return in_domain(check_tail, t)
+    return True
+
+
+def _is_sorted(flags: str, y: str) -> bool:
+    if not (y == "" or y.endswith("\n")):
+        return False
+    lines = y[:-1].split("\n") if y else []
+    if len(lines) < 2:
+        return True
+    spec = parse_sort_flags(flags.split()) if flags else parse_sort_flags([])
+    keys: List = [spec.sort_key(l) for l in lines]
+    if spec.reverse:
+        return all(keys[i] >= keys[i + 1] for i in range(len(keys) - 1))
+    return all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1))

@@ -1,0 +1,258 @@
+"""Big-step evaluation of combiner DSL expressions (paper Figure 6).
+
+``evaluate(op, y1, y2, env)`` implements the transition function
+``=>_e``.  Domain violations raise :class:`EvalError`; the synthesizer
+treats a raising candidate as implausible for that observation.
+
+Stream-splitting conventions
+----------------------------
+
+* ``splitFirst d y`` splits off everything before the first ``d``; the
+  tail is ``None`` when ``d`` does not occur.
+* ``fuse`` splits both operands *fully* on the delimiter (a trailing
+  delimiter yields a final empty piece) and requires the two piece
+  counts to be equal and at least two.  This matches the paper's
+  observed results — e.g. ``(fuse '\\n' first)`` is plausible for
+  ``head -n 1`` whose outputs are single newline-terminated lines.
+* ``stitch``/``stitch2`` treat the prefix of ``y1`` as
+  newline-terminated (empty when ``y1`` has a single line), which
+  reproduces ``uniq`` combining at the split boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ...unixsim.sort import merge_streams
+from .ast import (
+    Add,
+    Back,
+    Combiner,
+    Concat,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Op,
+    Rerun,
+    Second,
+    Stitch,
+    Stitch2,
+)
+
+
+class EvalError(Exception):
+    """A DSL evaluation rule failed to apply."""
+
+
+@dataclass
+class EvalEnv:
+    """Ambient context for RunOp evaluation.
+
+    Attributes:
+        run_command: executes the black-box command ``f`` (for rerun).
+        merge: the ``unixMerge <flags>`` primitive; defaults to the
+            simulated ``sort -m``.
+    """
+
+    run_command: Optional[Callable[[str], str]] = None
+    merge: Callable[[str, List[str]], str] = merge_streams
+
+
+_EMPTY_ENV = EvalEnv()
+
+
+# --------------------------------------------------------------------------
+# helpers (appendix A)
+
+
+def str_to_int(s: str) -> int:
+    if not s or not s.isdigit():
+        raise EvalError(f"strToInt: {s!r} is not a digit string")
+    return int(s)
+
+
+def del_front(d: str, y: str) -> str:
+    if not y.startswith(d):
+        raise EvalError(f"delFront: {y!r} does not start with {d!r}")
+    return y[len(d):]
+
+
+def del_back(d: str, y: str) -> str:
+    if not y.endswith(d):
+        raise EvalError(f"delBack: {y!r} does not end with {d!r}")
+    return y[: -len(d)]
+
+
+def split_first(d: str, y: str) -> Tuple[str, Optional[str]]:
+    """Return ``(head, tail)``; tail is ``None`` when ``d`` not in ``y``."""
+    idx = y.find(d)
+    if idx == -1:
+        return y, None
+    return y[:idx], y[idx + len(d):]
+
+
+def split_last_line(y: str) -> Tuple[str, str]:
+    """Split a stream into (newline-terminated prefix, last line body)."""
+    if not y.endswith("\n"):
+        raise EvalError(f"splitLastLine: {y!r} is not a stream")
+    body = y[:-1]
+    idx = body.rfind("\n")
+    if idx == -1:
+        return "", body
+    return body[: idx + 1], body[idx + 1:]
+
+
+def split_first_line(y: str) -> Tuple[str, str]:
+    """Split a stream into (first line body, remaining stream)."""
+    if not y.endswith("\n"):
+        raise EvalError(f"splitFirstLine: {y!r} is not a stream")
+    idx = y.find("\n")
+    return y[:idx], y[idx + 1:]
+
+
+def split_last_nonempty_line(y: str) -> str:
+    if not y.endswith("\n"):
+        raise EvalError(f"splitLastNonemptyLine: {y!r} is not a stream")
+    for line in reversed(y[:-1].split("\n")):
+        if line:
+            return line
+    raise EvalError("splitLastNonemptyLine: no nonempty line")
+
+
+def del_pad(line: str) -> Tuple[str, str]:
+    """Strip leading padding (spaces, or a single tab); return (pad, rest)."""
+    if line.startswith("\t"):
+        return "\t", line[1:]
+    i = 0
+    while i < len(line) and line[i] == " ":
+        i += 1
+    return line[:i], line[i:]
+
+
+def add_pad(pad: str, old_head: str, new_body: str, new_head: str) -> str:
+    """Re-pad a rebuilt line, preserving the original pad+head width.
+
+    GNU ``uniq -c`` right-aligns counts in a fixed-width field; keeping
+    ``len(pad) + len(head)`` constant reproduces that (and degrades to
+    no padding when the original had none).
+    """
+    if pad.startswith("\t"):
+        return pad + new_body
+    width = len(pad) + len(old_head)
+    new_pad = " " * max(0, width - len(new_head))
+    return new_pad + new_body
+
+
+# --------------------------------------------------------------------------
+# evaluation
+
+
+def evaluate(op: Op, y1: str, y2: str, env: EvalEnv = _EMPTY_ENV) -> str:
+    """Evaluate ``op y1 y2 =>_e v`` or raise :class:`EvalError`."""
+    if isinstance(op, Concat):
+        return y1 + y2
+    if isinstance(op, First):
+        return y1
+    if isinstance(op, Second):
+        return y2
+    if isinstance(op, Add):
+        return str(str_to_int(y1) + str_to_int(y2))
+    if isinstance(op, Front):
+        v = evaluate(op.child, del_front(op.delim, y1),
+                     del_front(op.delim, y2), env)
+        return op.delim + v
+    if isinstance(op, Back):
+        v = evaluate(op.child, del_back(op.delim, y1),
+                     del_back(op.delim, y2), env)
+        return v + op.delim
+    if isinstance(op, Fuse):
+        return _eval_fuse(op, y1, y2, env)
+    if isinstance(op, Stitch):
+        return _eval_stitch(op, y1, y2, env)
+    if isinstance(op, Stitch2):
+        return _eval_stitch2(op, y1, y2, env)
+    if isinstance(op, Offset):
+        return _eval_offset(op, y1, y2, env)
+    if isinstance(op, Rerun):
+        if env.run_command is None:
+            raise EvalError("rerun: no command bound in evaluation env")
+        return env.run_command(y1 + y2)
+    if isinstance(op, Merge):
+        return env.merge(op.flags, [y1, y2])
+    raise EvalError(f"unknown operator {op!r}")
+
+
+def apply_combiner(c: Combiner, y1: str, y2: str,
+                   env: EvalEnv = _EMPTY_ENV) -> str:
+    """Apply a candidate, honoring its argument order."""
+    if c.swapped:
+        return evaluate(c.op, y2, y1, env)
+    return evaluate(c.op, y1, y2, env)
+
+
+def _eval_fuse(op: Fuse, y1: str, y2: str, env: EvalEnv) -> str:
+    d = op.delim
+    pieces1 = y1.split(d)
+    pieces2 = y2.split(d)
+    if len(pieces1) < 2 or len(pieces1) != len(pieces2):
+        raise EvalError("fuse: piece counts differ or delimiter absent")
+    out = [evaluate(op.child, p1, p2, env)
+           for p1, p2 in zip(pieces1, pieces2)]
+    return d.join(out)
+
+
+def _eval_stitch(op: Stitch, y1: str, y2: str, env: EvalEnv) -> str:
+    if y1 == "\n" or y2 == "\n":
+        return y1 + y2
+    prefix1, l1 = split_last_line(y1)
+    l2, rest2 = split_first_line(y2)
+    if l1 != l2:
+        return y1 + y2
+    v = evaluate(op.child, l1, l2, env)
+    return prefix1 + v + "\n" + rest2
+
+
+def _eval_stitch2(op: Stitch2, y1: str, y2: str, env: EvalEnv) -> str:
+    if y1 == "\n" or y2 == "\n":
+        return y1 + y2
+    d = op.delim
+    prefix1, l1 = split_last_line(y1)
+    l2, rest2 = split_first_line(y2)
+    pad1, body1 = del_pad(l1)
+    pad2, body2 = del_pad(l2)
+    h1, t1 = split_first(d, body1)
+    h2, t2 = split_first(d, body2)
+    if t1 is None or t2 is None:
+        raise EvalError("stitch2: boundary line lacks the delimiter")
+    if t1 != t2:
+        return y1 + y2
+    h = evaluate(op.head, h1, h2, env)
+    t = evaluate(op.tail, t1, t2, env)
+    v = add_pad(pad1, h1, h + d + t, h)
+    return prefix1 + v + "\n" + rest2
+
+
+def _eval_offset(op: Offset, y1: str, y2: str, env: EvalEnv) -> str:
+    d = op.delim
+    l1 = split_last_nonempty_line(y1)
+    pad1, body1 = del_pad(l1)
+    h1, _t1 = split_first(d, body1)
+    if _t1 is None:
+        raise EvalError("offset: reference line lacks the delimiter")
+    if not y2.endswith("\n") and y2 != "":
+        raise EvalError("offset: y2 is not a stream")
+    out: List[str] = []
+    for line in y2[:-1].split("\n") if y2 else []:
+        if line == "":
+            out.append("")
+            continue
+        pad2, body2 = del_pad(line)
+        h2, t2 = split_first(d, body2)
+        if t2 is None:
+            raise EvalError("offset: line lacks the delimiter")
+        h = evaluate(op.child, h1, h2, env)
+        out.append(add_pad(pad2, h2, h + d + t2, h))
+    return y1 + "".join(l + "\n" for l in out)

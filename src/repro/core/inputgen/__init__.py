@@ -1,0 +1,20 @@
+"""Input generation: shapes, mutation gradient, command preprocessing."""
+
+from .generator import generate_lines, generate_pair
+from .gradient import get_effective_inputs
+from .preprocess import (
+    FILENAMES,
+    PLAIN,
+    SORTED,
+    CommandProfile,
+    build_profile,
+)
+from .regexgen import examples_for_pattern, literal_tokens
+from .shapes import Config, N_MUTATIONS, SEED_SHAPE, Shape, random_shape
+
+__all__ = [
+    "CommandProfile", "Config", "FILENAMES", "N_MUTATIONS", "PLAIN",
+    "SEED_SHAPE", "SORTED", "Shape", "build_profile",
+    "examples_for_pattern", "generate_lines", "generate_pair",
+    "get_effective_inputs", "literal_tokens", "random_shape",
+]

@@ -1,0 +1,94 @@
+"""Random input-stream-pair generation satisfying an input shape.
+
+``generate_pair`` produces ``⟨x1, x2⟩`` such that ``x1 ++ x2`` conforms
+to the shape (Definition 3.12).  Low distinct percentages produce
+repeated lines — including duplicates straddling the split boundary,
+which are exactly the counterexample inputs that eliminate ``concat``
+for ``uniq``-like commands (section 2, *Input Generation*).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Tuple
+
+from ...unixsim.base import unlines
+from .preprocess import FILENAMES, SORTED, CommandProfile
+from .shapes import Shape
+
+#: lowercase-biased but mixed-case, so commands keyed on uppercase
+#: characters (``tr -sc 'AEIOU' ...``, ``grep '^[A-Z]'``) see both cases
+#: even at small alphabet sizes
+_LETTERS = "".join(
+    lo + (up if i % 2 == 1 else "")
+    for i, (lo, up) in enumerate(zip(string.ascii_lowercase,
+                                     string.ascii_uppercase)))
+
+
+def _word_pool(shape: Shape, profile: CommandProfile,
+               rng: random.Random, total_words: int) -> List[str]:
+    cfg = shape.words
+    pool_size = max(1, round(cfg.distinct * max(total_words, 1)))
+    alphabet_size = max(2, round(shape.chars.distinct * len(_LETTERS)))
+    alphabet = _LETTERS[:alphabet_size]
+    use_dict = bool(profile.dictionary)
+    pool: List[str] = []
+    for _ in range(pool_size):
+        roll = rng.random()
+        if use_dict and roll < 0.45:
+            pool.append(rng.choice(profile.dictionary))
+        elif roll < 0.65:
+            # numeric tokens exercise add-based combiners; two or more
+            # digits so magnitude comparisons like "$1 >= 1000" can be
+            # satisfied while "$1 == 2" stays out of reach (Table 9).
+            ndigits = rng.randint(2, 7)
+            pool.append(str(rng.randint(10 ** (ndigits - 1),
+                                        10 ** ndigits - 1)))
+        else:
+            length = rng.randint(shape.chars.lo, shape.chars.hi)
+            pool.append("".join(rng.choice(alphabet) for _ in range(length)))
+    return pool
+
+
+def _line_pool(shape: Shape, profile: CommandProfile,
+               rng: random.Random, n_lines: int) -> List[str]:
+    if profile.input_mode == FILENAMES:
+        names = sorted(profile.command.context.fs)
+        return [rng.choice(names) for _ in range(max(1, n_lines // 2))]
+    words_cfg = shape.words
+    est_words = n_lines * max(words_cfg.lo, 1)
+    pool_words = _word_pool(shape, profile, rng, est_words)
+    n_distinct = max(1, round(shape.lines.distinct * n_lines))
+    seps = [" "]
+    if profile.arg_delims:
+        seps = seps + profile.arg_delims
+    lines: List[str] = []
+    for _ in range(n_distinct):
+        k = rng.randint(words_cfg.lo, words_cfg.hi)
+        sep = rng.choice(seps)
+        lines.append(sep.join(rng.choice(pool_words) for _ in range(k)))
+    return lines
+
+
+def generate_lines(shape: Shape, profile: CommandProfile,
+                   rng: random.Random) -> List[str]:
+    n = rng.randint(max(2, shape.lines.lo), max(2, shape.lines.hi))
+    pool = _line_pool(shape, profile, rng, n)
+    lines = [rng.choice(pool) for _ in range(n)]
+    if profile.input_mode == SORTED:
+        # distinct sorted lines: the pipelines feeding sorted-input
+        # commands (comm) dedupe upstream, and the paper's synthesized
+        # concat combiner for comm is only correct on distinct lines
+        lines = sorted(set(lines))
+        while len(lines) < 2:
+            lines = sorted(set(lines) | {rng.choice(pool) + "x"})
+    return lines
+
+
+def generate_pair(shape: Shape, profile: CommandProfile,
+                  rng: random.Random) -> Tuple[str, str]:
+    """One input stream pair ``⟨x1, x2⟩`` with ``(x1 ++ x2) ~ shape``."""
+    lines = generate_lines(shape, profile, rng)
+    split = rng.randint(1, len(lines) - 1)
+    return unlines(lines[:split]), unlines(lines[split:])

@@ -1,0 +1,262 @@
+"""Command preprocessing: probes, literals, dictionaries, delimiters.
+
+Reproduces the paper's preprocessing (section 3.2):
+
+* three probe inputs — an unsorted word list, the same list sorted, and
+  a list of legal file names — decide the command's *input mode*
+  (``comm`` demands sorted input, ``xargs`` demands file names);
+* literal extraction builds dictionaries (strings matching a ``grep``
+  regex) and shape hints (the ``100`` in ``sed 100q``);
+* a probe battery determines which delimiters can appear in the
+  command's outputs, which fixes the candidate-pool delimiter set
+  (and thereby the search-space sizes reported in appendix Table 10).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...shell.command import Command, CommandError
+from ...unixsim.base import lines_of, unlines
+
+from .regexgen import examples_for_pattern, literal_tokens
+
+Observation = Tuple[str, str, str]
+
+#: input modes decided by the probes
+PLAIN = "plain"
+SORTED = "sorted"
+FILENAMES = "filenames"
+
+_UNSORTED_WORDS = ["zebra", "apple", "mango", "delta", "apple", "kiwi"]
+_SYNTH_FILES = {
+    "kq_a.txt": "alpha one\nbeta two\n",
+    "kq_b.txt": "gamma\n",
+    "kq_c.txt": "delta four five\nepsilon\nzeta six\n",
+}
+
+_ARG_DELIM_CANDIDATES = set(" \t,")
+_OUTPUT_DELIM_ORDER = ("\n", " ", "\t", ",")
+
+
+@dataclass
+class CommandProfile:
+    """Everything synthesis needs to know about one black-box command."""
+
+    command: Command
+    input_mode: str = PLAIN
+    dictionary: List[str] = field(default_factory=list)
+    line_hint: Optional[int] = None
+    arg_delims: List[str] = field(default_factory=list)
+    delims: Tuple[str, ...] = ("\n",)
+    merge_flags: str = ""
+    broken: bool = False
+    broken_reason: str = ""
+    #: (input length, output length) samples for the reduction estimate
+    size_samples: List[Tuple[int, int]] = field(default_factory=list)
+    _cache: Dict[str, str] = field(default_factory=dict)
+    failures: int = 0
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, data: str) -> str:
+        """Memoized command execution (rerun-combiner checks hit this hard)."""
+        try:
+            return self._cache[data]
+        except KeyError:
+            pass
+        out = self.command.run(data)
+        if len(self._cache) < 4096:
+            self._cache[data] = out
+        return out
+
+    def observe(self, pair: Tuple[str, str]) -> Optional[Observation]:
+        """Run the command on ``x1``, ``x2``, ``x1 ++ x2`` (Def. 3.5)."""
+        x1, x2 = pair
+        try:
+            y1 = self.run(x1)
+            y2 = self.run(x2)
+            y12 = self.run(x1 + x2)
+        except CommandError:
+            self.failures += 1
+            return None
+        self.size_samples.append((len(x1) + len(x2), len(y12)))
+        return (y1, y2, y12)
+
+    # -- derived metrics -----------------------------------------------------
+
+    def reduction_ratio(self) -> float:
+        """Mean output/input size ratio (drives the rerun-stage decision)."""
+        usable = [(i, o) for i, o in self.size_samples if i > 0]
+        if not usable:
+            return 1.0
+        return sum(o / i for i, o in usable) / len(usable)
+
+
+def _extract_literals(argv: List[str], rng: random.Random,
+                      profile: CommandProfile) -> None:
+    name = argv[0]
+    if name in ("grep", "egrep"):
+        pattern = next((a for a in argv[1:] if not a.startswith("-")), None)
+        if pattern:
+            profile.dictionary.extend(examples_for_pattern(pattern, rng))
+            profile.dictionary.extend(literal_tokens(pattern))
+    elif name == "sed":
+        for a in argv[1:]:
+            m = re.match(r"^(\d+)[qd]$", a)
+            if m:
+                profile.line_hint = int(m.group(1))
+            elif a.startswith("s") and len(a) > 2:
+                profile.dictionary.extend(
+                    examples_for_pattern(_sed_pattern(a), rng, count=5))
+    elif name in ("head", "tail"):
+        for a in argv[1:]:
+            m = re.match(r"^-?n?\+?(\d+)$", a.lstrip("-"))
+            if m and m.group(1).isdigit():
+                profile.line_hint = int(m.group(1))
+    elif name == "cut":
+        for i, a in enumerate(argv):
+            if a == "-d" and i + 1 < len(argv):
+                if argv[i + 1] in _ARG_DELIM_CANDIDATES or len(argv[i + 1]) == 1:
+                    profile.arg_delims.append(argv[i + 1])
+            elif a.startswith("-d") and len(a) == 3:
+                profile.arg_delims.append(a[2:])
+    elif name in ("awk", "gawk"):
+        program = next((a for a in argv[1:] if "{" in a or "$" in a
+                        or "length" in a), "")
+        profile.dictionary.extend(re.findall(r'"([^"]{2,})"', program))
+    elif name == "tr":
+        profile.dictionary.extend(_tr_set_tokens(argv, rng))
+
+
+def _tr_set_tokens(argv: List[str], rng: random.Random) -> List[str]:
+    """Words built from a ``tr`` command's SET characters.
+
+    ``tr -sc 'AEIOU' ...`` only behaves interestingly on inputs that
+    contain SET members; extracting the sets as literals makes the
+    generated inputs exercise both sides of the translation.
+    """
+    from ...unixsim.charsets import parse_set
+
+    chars: List[str] = []
+    for arg in argv[1:]:
+        if arg.startswith("-") and arg != "-":
+            continue
+        try:
+            members, _rep = parse_set(arg, allow_repeat=True)
+        except Exception:
+            continue
+        chars.extend(c for c in members if c.isalnum())
+    if not chars:
+        return []
+    pool = sorted(set(chars))
+    out = []
+    for _ in range(6):
+        length = rng.randint(2, 6)
+        word = "".join(rng.choice(pool) for _ in range(length))
+        # mix set members with plain letters half the time
+        if rng.random() < 0.5:
+            word += "".join(rng.choice("abcdef")
+                            for _ in range(rng.randint(1, 3)))
+        out.append(word)
+    return out
+
+
+def _sed_pattern(script: str) -> str:
+    delim = script[1]
+    body = script[2:]
+    end = 0
+    while end < len(body):
+        if body[end] == "\\":
+            end += 2
+            continue
+        if body[end] == delim:
+            break
+        end += 1
+    return body[:end]
+
+
+def _probe(cmd: Command, data: str) -> Optional[str]:
+    try:
+        return cmd.run(data)
+    except CommandError:
+        return None
+
+
+def build_profile(cmd: Command, rng: random.Random) -> CommandProfile:
+    """Analyze a black-box command before synthesis."""
+    profile = CommandProfile(command=cmd)
+    _extract_literals(cmd.argv, rng, profile)
+
+    if cmd.name == "sort":
+        flags = [a for a in cmd.argv[1:]
+                 if a.startswith("-") and a not in ("-m",)
+                 and not a.startswith("--parallel")]
+        profile.merge_flags = " ".join(flags)
+
+    # make the synthetic files visible to the command under test
+    for fname, contents in _SYNTH_FILES.items():
+        cmd.context.fs.setdefault(fname, contents)
+
+    unsorted = unlines(_UNSORTED_WORDS)
+    sorted_in = unlines(sorted(_UNSORTED_WORDS))
+    filenames = unlines(sorted(_SYNTH_FILES))
+
+    out_unsorted = _probe(cmd, unsorted)
+    out_sorted = _probe(cmd, sorted_in)
+    out_files = _probe(cmd, filenames)
+
+    if out_unsorted is not None:
+        profile.input_mode = PLAIN
+    elif out_sorted is not None:
+        profile.input_mode = SORTED
+    elif out_files is not None:
+        profile.input_mode = FILENAMES
+    else:
+        profile.broken = True
+        profile.broken_reason = "command failed on all three probe inputs"
+        return profile
+
+    profile.delims = _detect_delims(cmd, profile, rng)
+    return profile
+
+
+def _detect_delims(cmd: Command, profile: CommandProfile,
+                   rng: random.Random) -> Tuple[str, ...]:
+    """Delimiters observable in outputs fix the DSL delimiter set."""
+    battery: List[str] = []
+    if profile.input_mode == FILENAMES:
+        names = sorted(_SYNTH_FILES)
+        battery.append(unlines(names))
+        battery.append(unlines(names * 2))
+    else:
+        words = ["alpha", "beta", "gamma", "pod", "ten"]
+        dict_words = profile.dictionary[:6]
+        base = [
+            unlines(words),
+            unlines(["alpha beta", "gamma delta one", "x y"]),
+            unlines(["12 alpha", "7 beta", "345 gamma"]),
+        ]
+        if dict_words:
+            base.append(unlines(dict_words))
+            base.append(unlines([f"{w} tail" for w in dict_words[:3]]))
+        if profile.arg_delims:
+            d = profile.arg_delims[0]
+            base.append(unlines([d.join(["a", "bb", "c"]),
+                                 d.join(["x", "y", "z", "w"])]))
+        if profile.input_mode == SORTED:
+            base = [unlines(sorted(lines_of(b))) for b in base]
+        battery = base
+
+    seen = set("\n")
+    for data in battery:
+        out = _probe(cmd, data)
+        if out is None:
+            continue
+        for d in (" ", "\t", ","):
+            if d in out:
+                seen.add(d)
+    return tuple(d for d in _OUTPUT_DELIM_ORDER if d in seen)

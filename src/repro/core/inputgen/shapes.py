@@ -1,0 +1,98 @@
+"""Input shapes and their mutation space (paper Definition 3.11, Alg. 2).
+
+An input shape ``⟨s_L, s_W, s_C⟩`` bounds three dimensions of a
+generated stream — lines per stream, words per line, characters per
+word — each with a minimum count, maximum count, and a percentage of
+distinct elements.  Algorithm 2 hill-climbs over the **twelve**
+mutations of a shape: three dimensions × four directions
+(more/fewer elements, more/less varied).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List
+
+N_MUTATIONS = 12
+
+
+@dataclass(frozen=True)
+class Config:
+    """Bounds for one dimension: ⟨min count, max count, distinct %⟩."""
+
+    lo: int
+    hi: int
+    distinct: float
+
+    def __post_init__(self) -> None:
+        if self.lo < 1 or self.hi < self.lo:
+            raise ValueError(f"invalid bounds [{self.lo}, {self.hi}]")
+        if not 0.0 < self.distinct <= 1.0:
+            raise ValueError(f"distinct must be in (0, 1]: {self.distinct}")
+
+    def grown(self) -> "Config":
+        return Config(self.lo * 2, self.hi * 2, self.distinct)
+
+    def shrunk(self) -> "Config":
+        return Config(max(1, self.lo // 2), max(1, self.hi // 2), self.distinct)
+
+    def more_varied(self) -> "Config":
+        return Config(self.lo, self.hi, min(1.0, self.distinct * 1.6))
+
+    def less_varied(self) -> "Config":
+        return Config(self.lo, self.hi, max(0.05, self.distinct / 2))
+
+
+@dataclass(frozen=True)
+class Shape:
+    """An input shape over the three dimensions."""
+
+    lines: Config
+    words: Config
+    chars: Config
+
+    def mutate(self, j: int) -> "Shape":
+        """Apply mutation ``j`` ∈ [0, 12) — dimension × direction."""
+        if not 0 <= j < N_MUTATIONS:
+            raise ValueError(f"mutation index out of range: {j}")
+        dim, direction = divmod(j, 4)
+        field = ("lines", "words", "chars")[dim]
+        cfg: Config = getattr(self, field)
+        mutated = (cfg.grown, cfg.shrunk, cfg.more_varied, cfg.less_varied)[
+            direction]()
+        return replace(self, **{field: mutated})
+
+    def all_mutations(self) -> List["Shape"]:
+        return [self.mutate(j) for j in range(N_MUTATIONS)]
+
+
+#: The predefined seed shape the search starts from (section 3.2).
+SEED_SHAPE = Shape(
+    lines=Config(2, 8, 0.5),
+    words=Config(1, 3, 0.5),
+    chars=Config(1, 5, 0.5),
+)
+
+
+def random_shape(rng: random.Random,
+                 line_hint: int | None = None) -> Shape:
+    """A randomized starting shape for one synthesis round.
+
+    ``line_hint`` (from preprocessing literals like ``sed 100q``) pulls
+    the line-count dimension near the extracted constant so both sides
+    of the command's behavioral threshold get exercised.
+    """
+    if line_hint is not None and rng.random() < 0.85:
+        # straddle the extracted constant (e.g. the 100 in `sed 100q`)
+        # so both behavioral regimes of the command are exercised
+        lo = max(2, line_hint // 2)
+        hi = max(lo + 2, line_hint * 3)
+    else:
+        lo = rng.randint(2, 6)
+        hi = lo + rng.randint(1, 10)
+    return Shape(
+        lines=Config(lo, hi, rng.choice((0.2, 0.5, 1.0))),
+        words=Config(1, rng.randint(1, 4), rng.choice((0.3, 0.6, 1.0))),
+        chars=Config(1, rng.randint(2, 8), rng.choice((0.3, 0.6, 1.0))),
+    )

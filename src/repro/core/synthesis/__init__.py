@@ -1,0 +1,22 @@
+"""Combiner synthesis: Algorithm 1, plausibility, composition."""
+
+from .candidates import count_eliminated, filter_candidates, plausible
+from .composite import CompositeCombiner, select_priority_class
+from .store import CombinerStore, result_from_dict, result_to_dict
+from .synthesizer import (
+    COMMAND_BROKEN,
+    INSUFFICIENT_INPUTS,
+    NO_COMBINER,
+    OK,
+    SynthesisConfig,
+    SynthesisResult,
+    synthesize,
+)
+
+__all__ = [
+    "COMMAND_BROKEN", "CombinerStore", "CompositeCombiner",
+    "INSUFFICIENT_INPUTS", "NO_COMBINER", "OK", "SynthesisConfig",
+    "SynthesisResult", "count_eliminated", "filter_candidates", "plausible",
+    "result_from_dict", "result_to_dict", "select_priority_class",
+    "synthesize",
+]

@@ -1,0 +1,54 @@
+"""Plausibility checking and candidate filtering (Definitions 3.9/3.10).
+
+A candidate ``g`` is *plausible* for a set of observations when every
+observation's partial outputs lie in ``L(g)`` and
+``g(y1, y2) = f(x1 ++ x2)``.  Filtering is the hot loop of synthesis:
+legality is checked first (cheap string predicates) so evaluation only
+runs for structurally compatible candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ...shell.command import CommandError
+from ..dsl.ast import Combiner
+from ..dsl.legality import in_domain
+from ..dsl.semantics import EvalEnv, EvalError, evaluate
+from ..theory.predicates import Observation
+
+
+def plausible(candidate: Combiner, observations: Iterable[Observation],
+              env: EvalEnv) -> bool:
+    """``P(g, Y)`` restricted to the given observations."""
+    op = candidate.op
+    swapped = candidate.swapped
+    for y1, y2, y12 in observations:
+        a, b = (y2, y1) if swapped else (y1, y2)
+        if not (in_domain(op, a) and in_domain(op, b)):
+            return False
+        try:
+            v = evaluate(op, a, b, env)
+        except (EvalError, CommandError):
+            return False
+        if v != y12:
+            return False
+    return True
+
+
+def filter_candidates(candidates: Sequence[Combiner],
+                      observations: Sequence[Observation],
+                      env: EvalEnv) -> List[Combiner]:
+    """Keep only candidates plausible for every observation."""
+    if not observations:
+        return list(candidates)
+    return [c for c in candidates if plausible(c, observations, env)]
+
+
+def count_eliminated(candidates: Sequence[Combiner],
+                     observations: Sequence[Observation],
+                     env: EvalEnv) -> int:
+    """How many candidates the observations rule out (gradient signal)."""
+    if not observations:
+        return 0
+    return sum(1 for c in candidates if not plausible(c, observations, env))

@@ -1,0 +1,69 @@
+"""Composite combiners: dispatch among multiple plausible survivors.
+
+When synthesis ends with several plausible combiners, the paper
+(section 3.2, *Multiple Plausible Combiners*) composes the survivors of
+the highest-priority class (RecOp ≻ StructOp ≻ RunOp) by legal-domain
+dispatch: apply the first combiner whose domain contains both operands.
+Theorems 1-4 guarantee the order does not matter for outputs the
+command can actually produce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..dsl.ast import Combiner, is_recop, is_runop, is_structop
+from ..dsl.legality import in_domain
+from ..dsl.semantics import EvalEnv, EvalError, apply_combiner
+
+
+class CompositeCombiner:
+    """Domain-dispatch composition of plausible combiners."""
+
+    def __init__(self, combiners: Sequence[Combiner]) -> None:
+        if not combiners:
+            raise ValueError("composite combiner needs at least one member")
+        # smaller combiners first: cheaper and (by the theorems)
+        # equivalent on the command's outputs; rerun last — it redoes
+        # the command's work, so any other member is preferable
+        from ..dsl.ast import Rerun
+
+        self.combiners: List[Combiner] = sorted(
+            combiners,
+            key=lambda c: (isinstance(c.op, Rerun), c.size(), c.swapped))
+
+    def apply(self, y1: str, y2: str, env: EvalEnv) -> str:
+        last_error: Optional[Exception] = None
+        for c in self.combiners:
+            a, b = (y2, y1) if c.swapped else (y1, y2)
+            if not (in_domain(c.op, a) and in_domain(c.op, b)):
+                continue
+            try:
+                return apply_combiner(c, y1, y2, env)
+            except EvalError as exc:
+                last_error = exc
+        raise EvalError(
+            f"no member combiner applicable to operands "
+            f"({y1[:40]!r}, {y2[:40]!r}); last error: {last_error}")
+
+    @property
+    def primary(self) -> Combiner:
+        """The representative (smallest) member."""
+        return self.combiners[0]
+
+    def pretty(self) -> str:
+        return " | ".join(c.pretty() for c in self.combiners)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CompositeCombiner({self.pretty()})"
+
+
+def select_priority_class(survivors: Sequence[Combiner]) -> List[Combiner]:
+    """The subset of survivors used for composition (RecOp first)."""
+    rec = [c for c in survivors if is_recop(c)]
+    if rec:
+        return rec
+    struct = [c for c in survivors if is_structop(c)]
+    if struct:
+        return struct
+    return [c for c in survivors if is_runop(c)]

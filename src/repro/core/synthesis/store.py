@@ -1,0 +1,114 @@
+"""Persistent combiner store.
+
+Synthesis is the expensive step (the paper reports 39-331 s per
+command); a production deployment synthesizes each unique command once
+and reuses the result.  This module serializes synthesis outcomes to
+JSON keyed by the command's argv, giving KumQuat the
+combiner-database-free workflow of the paper *plus* PaSh-style
+instant reuse for commands seen before.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..dsl.ast import Combiner
+from ..dsl.parser import parse_combiner
+from .composite import CompositeCombiner
+from .synthesizer import SynthesisResult
+
+_SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SynthesisResult) -> dict:
+    return {
+        "command_display": result.command_display,
+        "status": result.status,
+        "reason": result.reason,
+        "survivors": [c.pretty() for c in result.survivors],
+        "composite": ([c.pretty() for c in result.combiner.combiners]
+                      if result.combiner else None),
+        "search_space": list(result.search_space),
+        "delims": list(result.delims),
+        "rounds": result.rounds,
+        "executions": result.executions,
+        "observation_count": result.observation_count,
+        "elapsed": result.elapsed,
+        "reduction_ratio": result.reduction_ratio,
+        "input_mode": result.input_mode,
+        "outputs_are_streams": result.outputs_are_streams,
+    }
+
+
+def result_from_dict(data: dict) -> SynthesisResult:
+    result = SynthesisResult(
+        command_display=data["command_display"],
+        status=data["status"],
+        reason=data.get("reason", ""),
+        survivors=[parse_combiner(s) for s in data.get("survivors", [])],
+        search_space=tuple(data.get("search_space", (0, 0, 0))),
+        delims=tuple(data.get("delims", ("\n",))),
+        rounds=data.get("rounds", 0),
+        executions=data.get("executions", 0),
+        observation_count=data.get("observation_count", 0),
+        elapsed=data.get("elapsed", 0.0),
+        reduction_ratio=data.get("reduction_ratio", 1.0),
+        input_mode=data.get("input_mode", "plain"),
+        outputs_are_streams=data.get("outputs_are_streams", True),
+    )
+    composite = data.get("composite")
+    if composite:
+        result.combiner = CompositeCombiner(
+            [parse_combiner(s) for s in composite])
+    return result
+
+
+class CombinerStore:
+    """A JSON-backed map from command argv to synthesis results."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._results: Dict[Tuple[str, ...], SynthesisResult] = {}
+        if self.path.exists():
+            self.load()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: Tuple[str, ...]) -> bool:
+        return tuple(key) in self._results
+
+    def get(self, key: Tuple[str, ...]) -> Optional[SynthesisResult]:
+        return self._results.get(tuple(key))
+
+    def put(self, key: Tuple[str, ...], result: SynthesisResult) -> None:
+        self._results[tuple(key)] = result
+
+    def as_cache(self) -> Dict[Tuple[str, ...], SynthesisResult]:
+        """A mutable view usable as the ``results=`` synthesis cache."""
+        return self._results
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self) -> None:
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "entries": [
+                {"argv": list(key), "result": result_to_dict(res)}
+                for key, res in sorted(self._results.items())
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload, indent=1))
+
+    def load(self) -> None:
+        payload = json.loads(self.path.read_text())
+        if payload.get("schema") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported combiner-store schema: {payload.get('schema')}")
+        self._results = {
+            tuple(entry["argv"]): result_from_dict(entry["result"])
+            for entry in payload["entries"]
+        }

@@ -1,0 +1,31 @@
+"""Sufficiency predicates and representative combiner sets (appendix B)."""
+
+from .predicates import (
+    Observation,
+    e_rec,
+    e_struct,
+    nonempty_outputs_observed,
+    t_pred,
+    table_delim,
+)
+from .representative import (
+    e_add,
+    e_back_add,
+    e_concat,
+    e_first,
+    e_offset_add,
+    e_second,
+    e_stitch2_add_first,
+    e_stitch_first,
+    g_rec,
+    g_struct,
+    representative_combiners,
+)
+
+__all__ = [
+    "Observation", "e_add", "e_back_add", "e_concat", "e_first",
+    "e_offset_add", "e_rec", "e_second", "e_stitch2_add_first",
+    "e_stitch_first", "e_struct", "g_rec", "g_struct",
+    "nonempty_outputs_observed", "representative_combiners", "t_pred",
+    "table_delim",
+]

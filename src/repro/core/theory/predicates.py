@@ -1,0 +1,129 @@
+"""Observation-sufficiency predicates (paper Table 2, Defs. B.12-B.15).
+
+These conservative predicates characterize when a set of observations
+``Y`` is rich enough that every surviving candidate must be equivalent
+to the correct combiner (Theorems 1-4).  The synthesizer uses them as
+an acceptance gate: a RecOp/StructOp result is only reported when the
+collected observations satisfy ``E_rec`` / ``E_struct`` — this is what
+makes the paper's ``awk "$1 == 2 ..."`` command *unsupported* (input
+generation never produced nonempty outputs, Table 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..dsl.ast import DELIMS
+from ..dsl.semantics import del_pad, split_first, split_first_line, split_last_line
+
+Observation = Tuple[str, str, str]
+
+_EXCLUDED = set(DELIMS) | {"0"}
+
+
+def _has_informative_char(s: str) -> bool:
+    return any(c not in _EXCLUDED for c in s)
+
+
+def e_rec(observations: Iterable[Observation]) -> bool:
+    """``E_rec(Y)`` — Definition B.13."""
+    obs = list(observations)
+    cond_diff = any(y1 != y2 for y1, y2, _ in obs)
+    cond_y1 = any(_has_informative_char(y1) for y1, _, _ in obs)
+    cond_y2 = any(_has_informative_char(y2) for _, y2, _ in obs)
+    return cond_diff and cond_y1 and cond_y2
+
+
+def table_delim(observations: Iterable[Observation],
+                delims: Sequence[str] = (" ", "\t", ",")) -> Optional[str]:
+    """Return a delimiter making ``Y`` table-interpretable, else None.
+
+    Implements ``T(Y)`` (Definition B.14): every line of every observed
+    stream is nil or has the form ``pad ++ head ++ d ++ tail``.
+    """
+    obs = list(observations)
+    lines: List[str] = []
+    for tup in obs:
+        for stream in tup:
+            if stream == "":
+                continue
+            body = stream[:-1] if stream.endswith("\n") else stream
+            lines.extend(body.split("\n"))
+    nonempty = [l for l in lines if l != ""]
+    if not nonempty:
+        return None
+    for d in delims:
+        if all(d in del_pad(l)[1] for l in nonempty):
+            return d
+    return None
+
+
+def t_pred(observations: Iterable[Observation]) -> bool:
+    """``T(Y)``: the observations are interpretable as a table."""
+    return table_delim(list(observations)) is not None
+
+
+def _boundary(y1: str, y2: str) -> Optional[Tuple[str, str, str]]:
+    """(last line of y1, first line of y2, rest of y2) or None."""
+    if not (y1.endswith("\n") and y2.endswith("\n")):
+        return None
+    _, l1 = split_last_line(y1)
+    l2, rest2 = split_first_line(y2)
+    return l1, l2, rest2
+
+
+def e_struct(observations: Iterable[Observation]) -> bool:
+    """``E_struct(Y)`` — Definition B.15."""
+    obs = list(observations)
+    cond1 = False
+    for y1, y2, _ in obs:
+        if not y1 or not y2:
+            continue
+        b = _boundary(y1, y2)
+        if b is None:
+            continue
+        l1, l2, rest2 = b
+        if l1 != l2 or not l1:
+            continue
+        _, deformatted = del_pad(l1)
+        if not deformatted:
+            continue
+        if deformatted[0] in _EXCLUDED or l1[-1] in _EXCLUDED:
+            continue
+        # y2 must have a second line (l2' != nil)
+        if rest2 == "":
+            continue
+        l2p, _ = split_first_line(rest2)
+        if l2p == "":
+            continue
+        cond1 = True
+        break
+    if not cond1:
+        return False
+    d = table_delim(obs)
+    if d is None:
+        return True
+    return e_rec(_head_field_observations(obs, d))
+
+
+def _head_field_observations(obs: List[Observation], d: str) -> List[Observation]:
+    """The derived observations ``Y'`` of boundary head fields."""
+    out: List[Observation] = []
+    for y1, y2, y12 in obs:
+        if not y1 or not y2:
+            continue
+        b = _boundary(y1, y2)
+        if b is None:
+            continue
+        l1, l2, _ = b
+        h1, t1 = split_first(d, del_pad(l1)[1])
+        h2, t2 = split_first(d, del_pad(l2)[1])
+        if t1 is None or t2 is None or t1 != t2:
+            continue
+        out.append((h1, h2, y12))
+    return out
+
+
+def nonempty_outputs_observed(observations: Iterable[Observation]) -> bool:
+    """True when at least one observation produced nonempty partial outputs."""
+    return any(y1 != "" and y2 != "" for y1, y2, _ in observations)

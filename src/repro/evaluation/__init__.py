@@ -1,0 +1,32 @@
+"""Evaluation harness regenerating the paper's tables."""
+
+from . import paper_data
+from .performance import (
+    ScriptPerformance,
+    measure_all,
+    measure_script,
+    table1,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from .reporting import render_table, speedup
+from .stages import StageAccounting, account_all, account_script, table3
+from .synthesis_sweep import (
+    SweepSummary,
+    classify_combiner,
+    summarize,
+    sweep_commands,
+    table8,
+    table9,
+    table10,
+)
+
+__all__ = [
+    "ScriptPerformance", "StageAccounting", "SweepSummary", "account_all",
+    "account_script", "classify_combiner", "measure_all", "measure_script",
+    "paper_data", "render_table", "speedup", "summarize", "sweep_commands",
+    "table1", "table3", "table4", "table5", "table6", "table7", "table8",
+    "table9", "table10",
+]

@@ -1,0 +1,66 @@
+"""Paper-reported numbers used for side-by-side comparison.
+
+Only *shapes* are expected to reproduce (who wins, by roughly what
+factor); absolute times were measured on the authors' 80-core Xeon
+over GB-scale inputs.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — the two longest-running scripts per suite:
+#: (suite, script, parallelized, total stages, eliminated,
+#:  T_orig seconds, u1, u16, T16)
+TABLE1 = [
+    ("analytics-mts", "2.sh", 8, 8, 3, 335, 379, 41, 28),
+    ("analytics-mts", "3.sh", 8, 8, 3, 408, 427, 51, 38),
+    ("oneliners", "set-diff.sh", 5, 8, 3, 879, 1308, 144, 128),
+    ("oneliners", "wf.sh", 4, 5, 1, 1155, 2089, 196, 145),
+    ("poets", "4_3b.sh", 4, 9, 1, 862, 1049, 275, 279),
+    ("poets", "8.2_2.sh", 4, 9, 1, 645, 921, 177, 91),
+    ("unix50", "21.sh", 3, 3, 1, 428, 733, 64, 49),
+    ("unix50", "23.sh", 6, 6, 4, 111, 202, 23, 10),
+]
+
+#: Section 4 headline stage accounting (Table 3 totals).
+TOTAL_STAGES = 427
+TOTAL_PARALLELIZED = 325
+TOTAL_ELIMINATED = 144
+
+#: Synthesis summary (section 4): 121 unique stream-processing
+#: commands, 113 synthesized, 8 unsupported.
+UNIQUE_COMMANDS = 121
+SYNTHESIZED = 113
+UNSUPPORTED = 8
+SYNTH_TIME_RANGE_S = (39, 331)
+SYNTH_TIME_MEDIAN_S = 60
+
+#: Table 8 — most common synthesized plausible combiners.
+TABLE8_HISTOGRAM = {
+    "concat": 81,
+    "rerun": 30,       # 22 forward + 8 swapped in the paper's table
+    "merge": 16,
+    "back-add": 12,
+}
+
+#: Table 9 — the unsupported commands and why.
+TABLE9_UNSUPPORTED = [
+    ("awk '$1 == 2 {print $2, $3}'", "insufficient-inputs"),
+    ("sed 1d", "no-combiner"),
+    ("sed 2d", "no-combiner"),
+    ("sed 3d", "no-combiner"),
+    ("sed 4d", "no-combiner"),
+    ("sed 5d", "no-combiner"),
+    ("tail +2", "no-combiner"),
+    ("tail +3", "no-combiner"),
+]
+
+#: Table 10 — search-space sizes by delimiter-set cardinality.
+SEARCH_SPACE_BY_DELIMS = {1: 2700, 2: 26404, 3: 110444}
+
+#: Tables 5/6 — speedup medians at k=16 across all scripts.
+UNOPT_MEDIAN_SPEEDUP_16 = 5.3
+OPT_MEDIAN_SPEEDUP_16 = 7.1
+
+#: Table 7 — medians among scripts with u1 >= 3 minutes.
+LONG_UNOPT_MEDIAN_SPEEDUP_16 = 8.5
+LONG_OPT_MEDIAN_SPEEDUP_16 = 11.3

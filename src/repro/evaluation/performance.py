@@ -1,0 +1,223 @@
+"""Performance sweeps regenerating the paper's Tables 1 and 4-7.
+
+For every script we measure:
+
+* ``T_orig`` — the original serial script (paper: default Unix
+  pipelined parallelism; in our barrier-style infrastructure this is
+  the stage-by-stage serial run),
+* ``u_k``   — the *unoptimized* parallel pipeline at ``k``-way
+  parallelism (a combiner after every parallel stage),
+* ``T_k``   — the *optimized* pipeline (intermediate combiners
+  eliminated per Theorem 5).
+
+``u_1`` is the serial baseline all speedups are computed against, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.synthesis.synthesizer import SynthesisConfig
+from ..parallel.runner import SERIAL
+from ..workloads.runner import SynthCache, run_parallel, run_serial
+from ..workloads.scripts import ALL_SCRIPTS, BenchmarkScript
+from .reporting import render_table
+
+
+@dataclass
+class ScriptPerformance:
+    suite: str
+    name: str
+    title: str
+    t_orig: float = 0.0
+    unoptimized: Dict[int, float] = field(default_factory=dict)
+    optimized: Dict[int, float] = field(default_factory=dict)
+    parallelized: int = 0
+    stages: int = 0
+    eliminated: int = 0
+
+    @property
+    def u1(self) -> float:
+        return self.unoptimized.get(1, self.t_orig)
+
+    def unopt_speedup(self, k: int) -> float:
+        t = self.unoptimized.get(k, 0.0)
+        return self.u1 / t if t > 0 else float("nan")
+
+    def opt_speedup(self, k: int) -> float:
+        t = self.optimized.get(k, 0.0)
+        return self.u1 / t if t > 0 else float("nan")
+
+
+#: pseudo-engine: measured cost model (see evaluation.costmodel)
+SIMULATED = "simulated"
+
+
+def measure_script(script: BenchmarkScript, ks: Sequence[int],
+                   cache: SynthCache, scale: int = 400, seed: int = 3,
+                   engine: str = SIMULATED,
+                   config: Optional[SynthesisConfig] = None,
+                   repeats: int = 1) -> ScriptPerformance:
+    perf = ScriptPerformance(script.suite, script.name, script.title)
+    perf.t_orig = min(run_serial(script, scale, seed).seconds
+                      for _ in range(repeats))
+    if engine == SIMULATED:
+        _measure_simulated(perf, script, ks, cache, scale, seed, config)
+        return perf
+    for k in ks:
+        runs = [run_parallel(script, scale, k, seed, engine=engine,
+                             optimize=False, cache=cache, config=config)
+                for _ in range(repeats)]
+        perf.unoptimized[k] = min(r.seconds for r in runs)
+        runs_opt = [run_parallel(script, scale, k, seed, engine=engine,
+                                 optimize=True, cache=cache, config=config)
+                    for _ in range(repeats)]
+        perf.optimized[k] = min(r.seconds for r in runs_opt)
+        last = runs_opt[-1]
+        perf.parallelized = last.parallelized
+        perf.stages = last.stages
+        perf.eliminated = last.eliminated
+    return perf
+
+
+def _measure_simulated(perf: ScriptPerformance, script: BenchmarkScript,
+                       ks: Sequence[int], cache: SynthCache, scale: int,
+                       seed: int, config) -> None:
+    from .costmodel import simulate_script
+
+    serial_out = run_serial(script, scale, seed).output
+    for k in ks:
+        out_u, secs_u = simulate_script(script, scale, k, seed,
+                                        optimize=False, cache=cache,
+                                        config=config)
+        assert out_u == serial_out, f"{script.name}: unopt k={k} diverged"
+        perf.unoptimized[k] = secs_u
+        out_o, secs_o = simulate_script(script, scale, k, seed,
+                                        optimize=True, cache=cache,
+                                        config=config)
+        assert out_o == serial_out, f"{script.name}: opt k={k} diverged"
+        perf.optimized[k] = secs_o
+    run = run_parallel(script, scale, max(ks), seed, engine=SERIAL,
+                       optimize=True, cache=cache, config=config)
+    perf.parallelized = run.parallelized
+    perf.stages = run.stages
+    perf.eliminated = run.eliminated
+
+
+def measure_all(ks: Sequence[int] = (1, 16),
+                scripts: Optional[List[BenchmarkScript]] = None,
+                cache: Optional[SynthCache] = None,
+                scale: int = 400, seed: int = 3, engine: str = SIMULATED,
+                config: Optional[SynthesisConfig] = None
+                ) -> List[ScriptPerformance]:
+    scripts = scripts if scripts is not None else ALL_SCRIPTS
+    cache = cache if cache is not None else {}
+    return [measure_script(s, ks, cache, scale=scale, seed=seed,
+                           engine=engine, config=config) for s in scripts]
+
+
+# ---------------------------------------------------------------------------
+# table rendering
+
+
+def _fmt(t: float) -> str:
+    return f"{t:.3f}s"
+
+
+def table4(perfs: List[ScriptPerformance], k: int = 16) -> str:
+    rows = []
+    for p in perfs:
+        rows.append((p.suite, p.name, _fmt(p.t_orig), _fmt(p.u1),
+                     f"{_fmt(p.unoptimized.get(k, float('nan')))} "
+                     f"({p.unopt_speedup(k):.1f}x)",
+                     f"{_fmt(p.optimized.get(k, float('nan')))} "
+                     f"({p.opt_speedup(k):.1f}x)"))
+    rows.append(_summary_row(perfs, k))
+    return render_table(
+        ("Benchmark", "Script", "T_orig", "u1", f"u{k}", f"T{k}"), rows,
+        title=f"Table 4: performance of all scripts (k={k})")
+
+
+def _summary_row(perfs: List[ScriptPerformance], k: int):
+    unopt = [p.unopt_speedup(k) for p in perfs if p.unoptimized.get(k)]
+    opt = [p.opt_speedup(k) for p in perfs if p.optimized.get(k)]
+    med_u = statistics.median(unopt) if unopt else float("nan")
+    med_o = statistics.median(opt) if opt else float("nan")
+    return ("Median", "", "", "",
+            f"({med_u:.1f}x)", f"({med_o:.1f}x)")
+
+
+def scaling_table(perfs: List[ScriptPerformance], ks: Sequence[int],
+                  optimized: bool, title: str) -> str:
+    rows = []
+    for p in perfs:
+        times = p.optimized if optimized else p.unoptimized
+        cells = [p.suite, p.name, _fmt(p.u1)]
+        for k in ks:
+            if k == 1:
+                continue
+            t = times.get(k)
+            if t is None:
+                cells.append("-")
+            else:
+                cells.append(f"{_fmt(t)} ({p.u1 / t:.1f}x)")
+        rows.append(tuple(cells))
+    headers = ["Benchmark", "Script", "u1"] + \
+        [("T" if optimized else "u") + str(k) for k in ks if k != 1]
+    return render_table(headers, rows, title=title)
+
+
+def table5(perfs: List[ScriptPerformance],
+           ks: Sequence[int] = (1, 2, 4, 8, 16)) -> str:
+    return scaling_table(perfs, ks, optimized=False,
+                         title="Table 5: unoptimized parallel scaling")
+
+
+def table6(perfs: List[ScriptPerformance],
+           ks: Sequence[int] = (1, 2, 4, 8, 16)) -> str:
+    return scaling_table(perfs, ks, optimized=True,
+                         title="Table 6: optimized parallel scaling")
+
+
+def table7(perfs: List[ScriptPerformance], k: int = 16,
+           min_u1_fraction: float = 0.5) -> str:
+    """The long-running subset (paper: u1 >= 3 minutes; here: the
+    slowest half by u1, since our absolute scale differs)."""
+    ranked = sorted(perfs, key=lambda p: p.u1, reverse=True)
+    subset = ranked[: max(1, int(len(ranked) * min_u1_fraction))]
+    rows = [(p.suite, p.name, _fmt(p.u1),
+             f"{p.unopt_speedup(k):.1f}x", f"{p.opt_speedup(k):.1f}x")
+            for p in subset]
+    rows.append(_summary_row(subset, k)[:2] + ("", "", ""))
+    unopt = statistics.median([p.unopt_speedup(k) for p in subset])
+    opt = statistics.median([p.opt_speedup(k) for p in subset])
+    rows[-1] = ("Median", "", "", f"{unopt:.1f}x", f"{opt:.1f}x")
+    return render_table(
+        ("Benchmark", "Script", "u1", f"u{k} speedup", f"T{k} speedup"),
+        rows, title="Table 7: long-running scripts")
+
+
+def table1(perfs: List[ScriptPerformance], k: int = 16) -> str:
+    """The two longest-running scripts per suite (by u1)."""
+    rows = []
+    by_suite: Dict[str, List[ScriptPerformance]] = {}
+    for p in perfs:
+        by_suite.setdefault(p.suite, []).append(p)
+    for suite in sorted(by_suite):
+        top2 = sorted(by_suite[suite], key=lambda p: p.u1, reverse=True)[:2]
+        for p in top2:
+            rows.append((p.suite, p.name,
+                         f"{p.parallelized}/{p.stages}", p.eliminated,
+                         _fmt(p.t_orig), _fmt(p.u1),
+                         f"{_fmt(p.unoptimized.get(k, float('nan')))} "
+                         f"({p.unopt_speedup(k):.1f}x)",
+                         f"{_fmt(p.optimized.get(k, float('nan')))} "
+                         f"({p.opt_speedup(k):.1f}x)"))
+    return render_table(
+        ("Benchmark", "Script", "Parallelized", "Eliminated",
+         "T_orig", "u1", f"u{k}", f"T{k}"), rows,
+        title="Table 1: two longest-running scripts per suite")

@@ -1,0 +1,36 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table (monospace, paper-style)."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup(base: float, measured: float) -> str:
+    if measured <= 0:
+        return "n/a"
+    return f"{base / measured:.1f}x"
+
+
+def fmt_seconds(s: float) -> str:
+    if s < 10:
+        return f"{s:.2f}s"
+    return f"{s:.1f}s"

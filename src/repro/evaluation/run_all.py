@@ -1,0 +1,123 @@
+"""Regenerate every table from the paper's evaluation in one run.
+
+Usage::
+
+    python -m repro.evaluation.run_all [--scale N] [--k K] [--engine E]
+                                       [--quick] [--out FILE]
+
+Produces Tables 1, 3, 4, 5, 6, 7 (performance / stage accounting) and
+Tables 8, 9, 10 (synthesis) with paper-vs-measured summary lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from ..core.synthesis import SynthesisConfig
+from . import paper_data
+from .performance import measure_all, table1, table4, table5, table6, table7
+from .stages import account_all, table3
+from .synthesis_sweep import summarize, sweep_commands, table8, table9, table10
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=int, default=300,
+                    help="input lines per script (default 300)")
+    ap.add_argument("--k", type=int, default=16,
+                    help="max parallelism measured (default 16)")
+    ap.add_argument("--engine", default="simulated",
+                    choices=("simulated", "serial", "threads", "processes"),
+                    help="'simulated' = measured cost model (works on "
+                         "1-core hosts; see evaluation.costmodel); "
+                         "'processes' = real wall clock")
+    ap.add_argument("--quick", action="store_true",
+                    help="headline scripts only, smaller sweeps")
+    ap.add_argument("--out", default=None, help="also write to this file")
+    args = ap.parse_args(argv)
+
+    sink = open(args.out, "w") if args.out else None
+
+    def emit(text: str = "") -> None:
+        print(text)
+        if sink:
+            sink.write(text + "\n")
+
+    config = SynthesisConfig(max_rounds=8, patience=2, gradient_steps=2,
+                             pairs_per_shape=2, seed=17)
+    t0 = time.perf_counter()
+
+    emit("== Synthesis sweep (all unique benchmark commands) ==")
+    if args.quick:
+        from ..workloads import SUITES
+
+        scripts = (SUITES["analytics-mts"] + SUITES["oneliners"]
+                   + SUITES["poets"][:4] + SUITES["unix50"][:8])
+    else:
+        scripts = None
+    cache = sweep_commands(scripts, config=config)
+    summary = summarize(cache)
+    emit(f"unique commands: {summary.total_commands}  "
+         f"synthesized: {summary.synthesized}  "
+         f"unsupported: {summary.unsupported}")
+    emit(f"paper:           {paper_data.UNIQUE_COMMANDS}  "
+         f"synthesized: {paper_data.SYNTHESIZED}  "
+         f"unsupported: {paper_data.UNSUPPORTED}")
+    emit(f"median synthesis time: {summary.median_time:.2f}s "
+         f"(paper: {paper_data.SYNTH_TIME_MEDIAN_S}s on their hardware)")
+    emit()
+    emit(table8(cache))
+    emit()
+    emit(table9(cache))
+    emit()
+    emit(table10(cache))
+    emit()
+
+    emit("== Stage accounting ==")
+    accounts = account_all(scripts, cache=cache, config=config)
+    emit(table3(accounts))
+    total_k = sum(a.parallelized_total[0] for a in accounts)
+    total_n = sum(a.parallelized_total[1] for a in accounts)
+    total_e = sum(a.eliminated_total for a in accounts)
+    emit(f"measured: {total_k}/{total_n} parallelized "
+         f"({100 * total_k / total_n:.1f}%), {total_e} eliminated "
+         f"({100 * total_e / max(total_k, 1):.1f}% of parallelized)")
+    emit(f"paper:    {paper_data.TOTAL_PARALLELIZED}/"
+         f"{paper_data.TOTAL_STAGES} parallelized (76.1%), "
+         f"{paper_data.TOTAL_ELIMINATED} eliminated (44.3%)")
+    emit()
+
+    emit("== Performance ==")
+    ks = sorted({1, 2, args.k} | ({4} if args.k >= 4 else set()))
+    perf_scripts = scripts
+    perfs = measure_all(ks=ks, scripts=perf_scripts, cache=cache,
+                        scale=args.scale, engine=args.engine, config=config)
+    emit(table1(perfs, k=args.k))
+    emit()
+    emit(table4(perfs, k=args.k))
+    emit()
+    emit(table5(perfs, ks=ks))
+    emit()
+    emit(table6(perfs, ks=ks))
+    emit()
+    emit(table7(perfs, k=args.k))
+    emit()
+    med_u = statistics.median(p.unopt_speedup(args.k) for p in perfs)
+    med_o = statistics.median(p.opt_speedup(args.k) for p in perfs)
+    emit(f"median speedups at k={args.k}: unoptimized {med_u:.1f}x, "
+         f"optimized {med_o:.1f}x")
+    emit(f"paper (k=16, 80-core Xeon):  unoptimized "
+         f"{paper_data.UNOPT_MEDIAN_SPEEDUP_16}x, optimized "
+         f"{paper_data.OPT_MEDIAN_SPEEDUP_16}x")
+    emit()
+    emit(f"total harness time: {time.perf_counter() - t0:.1f}s")
+    if sink:
+        sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

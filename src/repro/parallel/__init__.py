@@ -1,0 +1,23 @@
+"""Parallel runtime: splitting, k-way combining, planning, execution."""
+
+from .combining import KWayCombiner
+from .executor import ParallelPipeline, RunStats, StageStats
+from .planner import (
+    PARALLEL,
+    PipelinePlan,
+    RERUN_REDUCTION_THRESHOLD,
+    SEQUENTIAL,
+    StagePlan,
+    compile_pipeline,
+    plan_stage,
+    synthesize_pipeline,
+)
+from .runner import PROCESSES, SERIAL, StageRunner, THREADS
+from .splitter import split_stream
+
+__all__ = [
+    "KWayCombiner", "PARALLEL", "PROCESSES", "ParallelPipeline",
+    "PipelinePlan", "RERUN_REDUCTION_THRESHOLD", "RunStats", "SEQUENTIAL",
+    "SERIAL", "StagePlan", "StageRunner", "StageStats", "THREADS",
+    "compile_pipeline", "plan_stage", "split_stream", "synthesize_pipeline",
+]

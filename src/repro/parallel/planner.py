@@ -1,0 +1,174 @@
+"""Pipeline compilation: stage modes and combiner elimination.
+
+Turns a serial :class:`~repro.shell.pipeline.Pipeline` plus per-command
+synthesis results into an execution plan:
+
+* stages without a synthesized combiner run **sequentially**;
+* stages whose only combiner is ``rerun`` and whose output is not much
+  smaller than their input also run sequentially — parallelizing them
+  would redo all the work in the combiner (the paper's
+  ``tr -cs A-Za-z '\\n'`` case, section 2);
+* the **intermediate combiner elimination** optimization (Theorem 5)
+  removes the combiner of any parallel stage whose combiner is
+  ``concat`` and whose successor is also parallel, letting output
+  substreams feed the next stage directly — provided the stage's
+  outputs are newline-terminated streams (the Theorem 5 precondition
+  that ``tr -d '\\n'`` violates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.synthesis.synthesizer import SynthesisConfig, SynthesisResult, synthesize
+from ..shell.command import Command
+from ..shell.pipeline import Pipeline
+from .combining import KWayCombiner
+
+PARALLEL = "parallel"
+SEQUENTIAL = "sequential"
+
+#: parallelize a rerun-only stage only when it shrinks data at least this much
+RERUN_REDUCTION_THRESHOLD = 0.5
+
+
+@dataclass
+class StagePlan:
+    """Execution decision for one pipeline stage."""
+
+    command: Command
+    mode: str
+    combiner: Optional[KWayCombiner] = None
+    eliminated: bool = False
+    synthesis: Optional[SynthesisResult] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.mode == PARALLEL
+
+
+@dataclass
+class PipelinePlan:
+    """A compiled data-parallel pipeline."""
+
+    pipeline: Pipeline
+    stages: List[StagePlan]
+    optimized: bool
+
+    @property
+    def parallelized(self) -> int:
+        return sum(1 for s in self.stages if s.parallel)
+
+    @property
+    def eliminated(self) -> int:
+        return sum(1 for s in self.stages if s.eliminated)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def describe(self) -> List[str]:
+        out = []
+        for s in self.stages:
+            mode = s.mode
+            if s.eliminated:
+                mode += " (combiner eliminated)"
+            comb = s.combiner.combiner.primary.pretty() if s.combiner else "-"
+            out.append(f"{s.command.display():40s} {mode:28s} {comb}")
+        return out
+
+
+def plan_stage(command: Command, result: Optional[SynthesisResult],
+               rerun_threshold: float = RERUN_REDUCTION_THRESHOLD,
+               reduction_ratio: Optional[float] = None) -> StagePlan:
+    """Decide the execution mode of one stage.
+
+    ``reduction_ratio`` (output/input size) preferably comes from
+    profiling the real workload; the ratio observed on synthesis inputs
+    is the fallback.
+    """
+    if result is None or not result.ok or result.combiner is None:
+        return StagePlan(command, SEQUENTIAL, synthesis=result)
+    kway = KWayCombiner(result.combiner)
+    ratio = reduction_ratio if reduction_ratio is not None \
+        else result.reduction_ratio
+    if kway.is_rerun() and ratio > rerun_threshold:
+        # a rerun combiner re-processes the whole stream: only worth it
+        # when the command shrinks its data substantially
+        return StagePlan(command, SEQUENTIAL, synthesis=result)
+    return StagePlan(command, PARALLEL, combiner=kway, synthesis=result)
+
+
+def profile_stage_reductions(pipeline: Pipeline, sample_input: str,
+                             max_bytes: int = 200_000) -> List[Optional[float]]:
+    """Per-stage output/input size ratios on (a prefix of) real data."""
+    if len(sample_input) > max_bytes:
+        cut = sample_input.rfind("\n", 0, max_bytes)
+        sample_input = sample_input[: cut + 1] if cut != -1 \
+            else sample_input[:max_bytes]
+    ratios: List[Optional[float]] = []
+    stream = sample_input
+    for cmd in pipeline.commands:
+        try:
+            out = cmd.run(stream)
+        except Exception:
+            ratios.append(None)
+            continue
+        ratios.append(len(out) / len(stream) if stream else None)
+        stream = out
+    return ratios
+
+
+def compile_pipeline(
+    pipeline: Pipeline,
+    results: Dict[Tuple[str, ...], SynthesisResult],
+    optimize: bool = True,
+    rerun_threshold: float = RERUN_REDUCTION_THRESHOLD,
+    sample_input: Optional[str] = None,
+) -> PipelinePlan:
+    """Compile a serial pipeline into a parallel execution plan.
+
+    ``results`` maps :meth:`Command.key` to synthesis outcomes —
+    synthesis runs once per unique command/flag combination and is
+    shared across scripts, as in the paper's evaluation.  When
+    ``sample_input`` is given, per-stage data-reduction ratios for the
+    rerun-profitability decision are measured on it (the paper profiles
+    the real workload when deciding to keep ``tr -cs ...`` sequential).
+    """
+    ratios: List[Optional[float]]
+    if sample_input is not None:
+        ratios = profile_stage_reductions(pipeline, sample_input)
+    elif pipeline.input_file is not None \
+            and pipeline.input_file in pipeline.context.fs:
+        ratios = profile_stage_reductions(
+            pipeline, pipeline.context.read_file(pipeline.input_file))
+    else:
+        ratios = [None] * len(pipeline.commands)
+    stages = [plan_stage(cmd, results.get(cmd.key()), rerun_threshold,
+                         reduction_ratio=ratio)
+              for cmd, ratio in zip(pipeline.commands, ratios)]
+    if optimize:
+        for i in range(len(stages) - 1):
+            cur, nxt = stages[i], stages[i + 1]
+            if (cur.parallel and cur.combiner is not None
+                    and cur.combiner.is_concat()
+                    and nxt.parallel
+                    and cur.synthesis is not None
+                    and cur.synthesis.outputs_are_streams):
+                cur.eliminated = True
+    return PipelinePlan(pipeline=pipeline, stages=stages, optimized=optimize)
+
+
+def synthesize_pipeline(
+    pipeline: Pipeline,
+    config: Optional[SynthesisConfig] = None,
+    cache: Optional[Dict[Tuple[str, ...], SynthesisResult]] = None,
+) -> Dict[Tuple[str, ...], SynthesisResult]:
+    """Synthesize combiners for every unique command in a pipeline."""
+    results: Dict[Tuple[str, ...], SynthesisResult] = cache if cache is not None else {}
+    for cmd in pipeline.commands:
+        key = cmd.key()
+        if key not in results:
+            results[key] = synthesize(cmd, config)
+    return results

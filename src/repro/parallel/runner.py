@@ -1,0 +1,89 @@
+"""Stage execution engines: serial, thread pool, and process pool.
+
+Simulated commands are CPU-bound pure Python, so true parallel speedup
+requires processes; subprocess-backed commands block on I/O and run
+fine under threads.  Workers rebuild commands from argv (cheap and
+always picklable) and share the virtual filesystem via a pool
+initializer so it is shipped once, not per task.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from typing import Dict, List, Optional, Sequence
+
+from ..shell.command import Command
+from ..unixsim import ExecContext, build
+
+#: execution engines
+SERIAL = "serial"
+THREADS = "threads"
+PROCESSES = "processes"
+
+_WORKER_CONTEXT: Optional[ExecContext] = None
+
+
+def _init_worker(fs: Dict[str, str], env: Dict[str, str]) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ExecContext(fs=fs, env=env)
+
+
+def _run_chunk(argv: List[str], chunk: str) -> str:
+    ctx = _WORKER_CONTEXT if _WORKER_CONTEXT is not None else ExecContext()
+    return build(argv).run(chunk, ctx)
+
+
+class StageRunner:
+    """Runs one command over many chunks, possibly in parallel.
+
+    A single runner (and its worker pool) is shared across all stages
+    of a pipeline execution, so pool startup cost is paid once.
+    """
+
+    def __init__(self, engine: str = SERIAL, max_workers: int = 1,
+                 context: Optional[ExecContext] = None) -> None:
+        if engine not in (SERIAL, THREADS, PROCESSES):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.max_workers = max(1, max_workers)
+        self.context = context if context is not None else ExecContext()
+        self._pool: Optional[cf.Executor] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "StageRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> cf.Executor:
+        if self._pool is None:
+            if self.engine == PROCESSES:
+                self._pool = cf.ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_init_worker,
+                    initargs=(self.context.fs, self.context.env))
+            else:
+                self._pool = cf.ThreadPoolExecutor(
+                    max_workers=self.max_workers)
+        return self._pool
+
+    # -- execution -----------------------------------------------------------
+
+    def run_stage(self, command: Command, chunks: Sequence[str]) -> List[str]:
+        """Apply ``command`` to every chunk, returning outputs in order."""
+        if len(chunks) == 1 or self.engine == SERIAL:
+            return [command.run(c) for c in chunks]
+        pool = self._ensure_pool()
+        if self.engine == PROCESSES and command.backend == "sim":
+            futures = [pool.submit(_run_chunk, command.argv, c)
+                       for c in chunks]
+        else:
+            futures = [pool.submit(command.run, c) for c in chunks]
+        return [f.result() for f in futures]

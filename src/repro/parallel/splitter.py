@@ -1,0 +1,40 @@
+"""Line-aligned input-stream splitting.
+
+The parallel pipeline splits its input into ``k`` contiguous substreams
+at line boundaries (the streams-of-lines model of section 3), balanced
+by byte count so every worker gets a comparable amount of work.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def split_stream(data: str, k: int) -> List[str]:
+    """Split ``data`` into at most ``k`` newline-aligned substreams.
+
+    Every returned piece is a valid stream (ends with a newline, or is
+    the final piece of a newline-free tail).  Pieces are contiguous and
+    concatenate back to ``data``; fewer than ``k`` pieces are returned
+    when the input has fewer lines than ``k``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if k == 1 or not data:
+        return [data]
+    target = max(1, len(data) // k)
+    pieces: List[str] = []
+    start = 0
+    n = len(data)
+    while start < n and len(pieces) < k - 1:
+        cut = start + target
+        if cut >= n:
+            break
+        nl = data.find("\n", cut)
+        if nl == -1:
+            break
+        pieces.append(data[start : nl + 1])
+        start = nl + 1
+    if start < n:
+        pieces.append(data[start:])
+    return pieces if pieces else [data]

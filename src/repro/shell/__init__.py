@@ -1,0 +1,16 @@
+"""Shell substrate: pipeline parsing and the black-box command model."""
+
+from .command import Command, CommandError
+from .parser import ParseError, Stage, expand_variables, parse_pipeline, split_pipeline
+from .pipeline import Pipeline
+
+__all__ = [
+    "Command",
+    "CommandError",
+    "ParseError",
+    "Pipeline",
+    "Stage",
+    "expand_variables",
+    "parse_pipeline",
+    "split_pipeline",
+]

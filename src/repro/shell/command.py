@@ -1,0 +1,106 @@
+"""The black-box command abstraction used by combiner synthesis.
+
+A :class:`Command` is the paper's ``f : Stream -> Stream``
+(Definition 3.2).  It wraps either a simulated command
+(:mod:`repro.unixsim`, the default) or a real subprocess, so every
+synthesis result can be cross-checked against actual GNU binaries.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import tempfile
+from typing import Dict, List, Optional
+
+from ..unixsim import ExecContext, SimCommand, build
+from ..unixsim.base import CommandError
+
+__all__ = ["Command", "CommandError"]
+
+
+class Command:
+    """A deterministic stream transformer identified by an argv list.
+
+    Args:
+        argv: the command line, e.g. ``["tr", "A-Z", "a-z"]``.
+        backend: ``"sim"`` (pure-Python substrate) or ``"subprocess"``.
+        context: virtual filesystem / env shared by executions.
+    """
+
+    def __init__(self, argv: List[str], backend: str = "sim",
+                 context: Optional[ExecContext] = None) -> None:
+        if backend not in ("sim", "subprocess"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.argv = list(argv)
+        self.backend = backend
+        self.context = context if context is not None else ExecContext()
+        self._sim: Optional[SimCommand] = None
+        if backend == "sim":
+            self._sim = build(self.argv)
+        self.executions = 0  # black-box probe counter (synthesis cost metric)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str, backend: str = "sim",
+                    context: Optional[ExecContext] = None,
+                    env: Optional[Dict[str, str]] = None) -> "Command":
+        from .parser import parse_stage
+
+        stage = parse_stage(text, dict(env or {}))
+        return cls(stage.argv, backend=backend, context=context)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, data: str) -> str:
+        """Execute the command on ``data``, returning its output stream.
+
+        Raises :class:`CommandError` when the command fails.
+        """
+        self.executions += 1
+        if self._sim is not None:
+            return self._sim.run(data, self.context)
+        return self._run_subprocess(data)
+
+    __call__ = run
+
+    def _run_subprocess(self, data: str) -> str:
+        with tempfile.TemporaryDirectory(prefix="repro-cmd-") as tmp:
+            for name, contents in self.context.fs.items():
+                path = os.path.join(tmp, name)
+                os.makedirs(os.path.dirname(path), exist_ok=True) \
+                    if os.path.dirname(name) else None
+                with open(path, "w") as fh:
+                    fh.write(contents)
+            env = dict(os.environ)
+            env.update(self.context.env)
+            env.setdefault("LC_ALL", "C")
+            try:
+                proc = subprocess.run(
+                    self.argv, input=data, capture_output=True, text=True,
+                    cwd=tmp, env=env, timeout=120)
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                raise CommandError(f"{self.argv[0]}: {exc}") from exc
+            if proc.returncode != 0:
+                raise CommandError(
+                    f"{self.argv[0]}: exit {proc.returncode}: "
+                    f"{proc.stderr.strip()[:200]}")
+            return proc.stdout
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.argv[0]
+
+    def display(self) -> str:
+        return " ".join(shlex.quote(a) for a in self.argv)
+
+    def key(self) -> tuple:
+        """Hashable identity for synthesis caching (command + flags)."""
+        return tuple(self.argv)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Command({self.display()!r}, backend={self.backend!r})"

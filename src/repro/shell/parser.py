@@ -1,0 +1,118 @@
+"""Parsing of shell pipeline strings into stage argv lists.
+
+Handles the syntax appearing in the benchmark scripts: pipes, single
+and double quotes, ``$VAR`` / ``${VAR:-default}`` expansion,
+``NAME=value`` environment prefixes (``LC_COLLATE=C comm ...``), and
+escaped ``\\$`` dollars inside double quotes.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+_VAR_RE = re.compile(r"\$\{(\w+)(?::-([^}]*))?\}|\$(\w+)")
+_DOLLAR_SENTINEL = "\x00DOLLAR\x00"
+
+
+class ParseError(ValueError):
+    """Raised when a pipeline string cannot be parsed."""
+
+
+def expand_variables(text: str, env: Dict[str, str]) -> str:
+    """Expand ``$VAR`` and ``${VAR:-default}``; ``\\$`` stays literal."""
+    text = text.replace("\\$", _DOLLAR_SENTINEL)
+
+    def repl(m: re.Match) -> str:
+        name = m.group(1) or m.group(3)
+        default = m.group(2)
+        value = env.get(name)
+        if value is None:
+            if default is not None:
+                return default
+            # unknown variable: leave the text intact so awk programs
+            # like '{print $2, $0}' survive parsing unharmed
+            return m.group(0)
+        return value
+
+    text = _VAR_RE.sub(repl, text)
+    return text.replace(_DOLLAR_SENTINEL, "$")
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: an argv plus any env-var prefixes."""
+
+    argv: List[str]
+    env: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.argv[0] if self.argv else ""
+
+    def display(self) -> str:
+        prefix = "".join(f"{k}={v} " for k, v in self.env.items())
+        return prefix + " ".join(shlex.quote(a) for a in self.argv)
+
+
+def split_pipeline(text: str) -> List[str]:
+    """Split on unquoted ``|`` characters."""
+    parts: List[str] = []
+    cur: List[str] = []
+    quote = None
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if quote:
+            cur.append(c)
+            if c == quote:
+                quote = None
+            elif c == "\\" and quote == '"' and i + 1 < len(text):
+                cur.append(text[i + 1])
+                i += 1
+        elif c in ("'", '"'):
+            quote = c
+            cur.append(c)
+        elif c == "|":
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+        i += 1
+    if quote:
+        raise ParseError(f"unterminated quote in {text!r}")
+    parts.append("".join(cur))
+    stripped = [p.strip() for p in parts]
+    if len(stripped) > 1 and any(not p for p in stripped):
+        raise ParseError(f"empty pipeline stage in {text!r}")
+    return [p for p in stripped if p]
+
+
+_ASSIGN_RE = re.compile(r"^(\w+)=(.*)$")
+
+
+def parse_stage(text: str, env: Dict[str, str]) -> Stage:
+    expanded = expand_variables(text, env)
+    try:
+        tokens = shlex.split(expanded, posix=True)
+    except ValueError as exc:
+        raise ParseError(f"cannot tokenize stage {text!r}: {exc}") from exc
+    stage_env: Dict[str, str] = {}
+    while tokens:
+        m = _ASSIGN_RE.match(tokens[0])
+        if m and len(tokens) > 1:
+            stage_env[m.group(1)] = m.group(2)
+            tokens = tokens[1:]
+        else:
+            break
+    if not tokens:
+        raise ParseError(f"stage has no command: {text!r}")
+    return Stage(argv=tokens, env=stage_env)
+
+
+def parse_pipeline(text: str, env: Dict[str, str] | None = None) -> List[Stage]:
+    """Parse a full pipeline string into a list of stages."""
+    env = dict(env or {})
+    return [parse_stage(part, env) for part in split_pipeline(text)]

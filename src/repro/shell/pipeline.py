@@ -1,0 +1,78 @@
+"""Pipeline model: an ordered list of commands plus input plumbing.
+
+Follows the paper's stage-accounting convention (footnote 3): an
+initial ``cat FILE`` that merely reads the input is recorded as the
+input source and excluded from the stage count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..unixsim import ExecContext
+from .command import Command
+from .parser import Stage, parse_pipeline
+
+
+class Pipeline:
+    """A serial pipeline of black-box commands."""
+
+    def __init__(self, commands: List[Command], input_file: Optional[str] = None,
+                 context: Optional[ExecContext] = None, source: str = "") -> None:
+        self.commands = list(commands)
+        self.input_file = input_file
+        self.context = context if context is not None else ExecContext()
+        self.source = source
+
+    @classmethod
+    def from_string(cls, text: str, env: Optional[Dict[str, str]] = None,
+                    context: Optional[ExecContext] = None,
+                    backend: str = "sim") -> "Pipeline":
+        context = context if context is not None else ExecContext()
+        env = dict(env or {})
+        stages = parse_pipeline(text, {**context.env, **env})
+        input_file: Optional[str] = None
+        commands: List[Command] = []
+        for i, stage in enumerate(stages):
+            if i == 0 and _is_input_cat(stage):
+                input_file = stage.argv[1] if len(stage.argv) > 1 else None
+                continue
+            commands.append(Command(stage.argv, backend=backend, context=context))
+        return cls(commands, input_file=input_file, context=context, source=text)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, data: Optional[str] = None) -> str:
+        """Run the pipeline serially on ``data`` (or on the input file)."""
+        stream = self._initial_stream(data)
+        for cmd in self.commands:
+            stream = cmd.run(stream)
+        return stream
+
+    def _initial_stream(self, data: Optional[str]) -> str:
+        if data is not None:
+            return data
+        if self.input_file is not None:
+            return self.context.read_file(self.input_file)
+        return ""
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        """Stage count per the paper's convention (initial cat excluded)."""
+        return len(self.commands)
+
+    def stage_displays(self) -> List[str]:
+        return [c.display() for c in self.commands]
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Pipeline({' | '.join(self.stage_displays())!r})"
+
+
+def _is_input_cat(stage: Stage) -> bool:
+    return stage.name == "cat" and len(stage.argv) >= 2 \
+        and not stage.argv[1].startswith("-")

@@ -1,0 +1,38 @@
+"""Pure-Python implementations of the Unix commands in the benchmarks.
+
+This package is the *substrate* the KumQuat reproduction runs on: each
+benchmark command is a deterministic ``Stream -> Stream`` function with
+GNU-compatible behaviour for the flag population in the paper's
+appendix (Table 10).  Commands are built from argv lists via
+:func:`repro.unixsim.build`.
+"""
+
+from .base import (
+    CommandError,
+    EMPTY_CONTEXT,
+    ExecContext,
+    SimCommand,
+    UsageError,
+    is_stream,
+    lines_of,
+    unlines,
+)
+from .registry import PARSERS, build, is_simulated
+from .sort import SortSpec, merge_streams, parse_sort_flags
+
+__all__ = [
+    "CommandError",
+    "EMPTY_CONTEXT",
+    "ExecContext",
+    "PARSERS",
+    "SimCommand",
+    "SortSpec",
+    "UsageError",
+    "build",
+    "is_simulated",
+    "is_stream",
+    "lines_of",
+    "merge_streams",
+    "parse_sort_flags",
+    "unlines",
+]

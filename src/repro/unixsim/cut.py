@@ -1,0 +1,122 @@
+"""Simulated ``cut`` (``-c`` character ranges and ``-d ... -f`` fields).
+
+GNU semantics that matter for combiner synthesis: selected fields are
+emitted in *file order* regardless of the order they appear in LIST
+(``-f 3,1`` equals ``-f 1,3``), and lines containing no delimiter are
+passed through unchanged unless ``-s`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+
+
+def _parse_list(spec: str) -> Tuple[Set[int], bool, int]:
+    """Parse a cut LIST like ``1-4,7`` -> (set of 1-based indices, open_end, start)."""
+    selected: Set[int] = set()
+    open_from = 0  # smallest N for an "N-" open range, 0 if none
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            raise UsageError("cut: empty list element")
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            lo = int(lo_s) if lo_s else 1
+            if hi_s:
+                hi = int(hi_s)
+                if hi < lo:
+                    raise UsageError("cut: invalid decreasing range")
+                selected.update(range(lo, hi + 1))
+            else:
+                open_from = lo if not open_from else min(open_from, lo)
+        else:
+            selected.add(int(part))
+    if 0 in selected:
+        raise UsageError("cut: fields are numbered from 1")
+    return selected, open_from > 0, open_from
+
+
+class CutChars(SimCommand):
+    def __init__(self, spec: str) -> None:
+        super().__init__()
+        self.selected, self.open_end, self.open_from = _parse_list(spec)
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        out = []
+        for line in lines_of(data):
+            picked = [
+                ch for i, ch in enumerate(line, start=1)
+                if i in self.selected or (self.open_end and i >= self.open_from)
+            ]
+            out.append("".join(picked))
+        return unlines(out)
+
+
+class CutFields(SimCommand):
+    def __init__(self, spec: str, delim: str = "\t",
+                 only_delimited: bool = False) -> None:
+        super().__init__()
+        if len(delim) != 1:
+            raise UsageError("cut: the delimiter must be a single character")
+        self.selected, self.open_end, self.open_from = _parse_list(spec)
+        self.delim = delim
+        self.only_delimited = only_delimited
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        out = []
+        d = self.delim
+        for line in lines_of(data):
+            if d not in line:
+                if not self.only_delimited:
+                    out.append(line)
+                continue
+            fields = line.split(d)
+            picked = [
+                f for i, f in enumerate(fields, start=1)
+                if i in self.selected or (self.open_end and i >= self.open_from)
+            ]
+            out.append(d.join(picked))
+        return unlines(out)
+
+
+def parse_cut(argv: List[str]) -> SimCommand:
+    delim = "\t"
+    char_spec = None
+    field_spec = None
+    only_delimited = False
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-c":
+            i += 1
+            char_spec = args[i]
+        elif arg.startswith("-c"):
+            char_spec = arg[2:]
+        elif arg == "-d":
+            i += 1
+            delim = args[i]
+        elif arg.startswith("-d"):
+            delim = arg[2:]
+        elif arg == "-f":
+            i += 1
+            field_spec = args[i]
+        elif arg.startswith("-f"):
+            field_spec = arg[2:]
+        elif arg == "-s":
+            only_delimited = True
+        else:
+            raise UsageError(f"cut: unsupported argument {arg!r}")
+        i += 1
+    if char_spec is not None and field_spec is not None:
+        raise UsageError("cut: only one list may be specified")
+    if char_spec is not None:
+        cmd: SimCommand = CutChars(char_spec)
+    elif field_spec is not None:
+        cmd = CutFields(field_spec, delim=delim, only_delimited=only_delimited)
+    else:
+        raise UsageError("cut: you must specify a list of characters or fields")
+    cmd.argv = list(argv)
+    return cmd

@@ -1,0 +1,55 @@
+"""Simulated ``grep`` with the flag population of the benchmarks.
+
+Supports ``-v`` (invert), ``-i`` (ignore case), ``-c`` (count), and
+their combinations (``-vc``, ``-vi``, ``-vic``).  Patterns are POSIX
+BREs translated via :mod:`repro.unixsim.bre`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+from .bre import bre_to_python
+
+
+class Grep(SimCommand):
+    def __init__(self, pattern: str, invert: bool = False,
+                 ignorecase: bool = False, count: bool = False) -> None:
+        super().__init__()
+        flags = re.IGNORECASE if ignorecase else 0
+        self.regex = re.compile(bre_to_python(pattern), flags)
+        self.pattern = pattern
+        self.invert = invert
+        self.count = count
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        search = self.regex.search
+        invert = self.invert
+        matched = [l for l in lines_of(data) if bool(search(l)) != invert]
+        if self.count:
+            return f"{len(matched)}\n"
+        return unlines(matched)
+
+
+def parse_grep(argv: List[str]) -> Grep:
+    invert = ignorecase = count = False
+    pattern = None
+    for arg in argv[1:]:
+        if pattern is None and arg.startswith("-") and len(arg) > 1 \
+                and all(f in "vic" for f in arg[1:]):
+            invert = invert or "v" in arg
+            ignorecase = ignorecase or "i" in arg
+            count = count or "c" in arg
+        elif arg == "-e":
+            continue
+        elif pattern is None:
+            pattern = arg
+        else:
+            raise UsageError(f"grep: unexpected argument {arg!r}")
+    if pattern is None:
+        raise UsageError("grep: missing pattern")
+    cmd = Grep(pattern, invert=invert, ignorecase=ignorecase, count=count)
+    cmd.argv = list(argv)
+    return cmd

@@ -1,0 +1,89 @@
+"""Simulated ``head`` and ``tail`` (including the ``tail +N`` form).
+
+``tail +N`` / ``tail -n +N`` (print from line N on) appears in the
+paper's *unsupported commands* table — no combiner exists for it — but
+the command itself must run so that synthesis can discover that fact.
+"""
+
+from __future__ import annotations
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+
+
+class Head(SimCommand):
+    def __init__(self, n: int = 10) -> None:
+        super().__init__()
+        self.n = n
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        if self.n <= 0:
+            return ""
+        return unlines(lines_of(data)[: self.n])
+
+
+class Tail(SimCommand):
+    def __init__(self, n: int = 10, from_start: bool = False) -> None:
+        super().__init__()
+        self.n = n
+        self.from_start = from_start
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        lines = lines_of(data)
+        if self.from_start:
+            return unlines(lines[self.n - 1 :])
+        if self.n <= 0:
+            return ""
+        return unlines(lines[-self.n :])
+
+
+def parse_head(argv) -> Head:
+    n = 10
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-n":
+            i += 1
+            n = int(args[i])
+        elif arg.startswith("-n"):
+            n = int(arg[2:])
+        elif arg.startswith("-") and arg[1:].isdigit():
+            n = int(arg[1:])
+        else:
+            raise UsageError(f"head: unsupported argument {arg!r}")
+        i += 1
+    cmd = Head(n)
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_tail(argv) -> Tail:
+    n = 10
+    from_start = False
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-n":
+            i += 1
+            spec = args[i]
+            if spec.startswith("+"):
+                from_start, n = True, int(spec[1:])
+            else:
+                n = int(spec)
+        elif arg.startswith("-n"):
+            spec = arg[2:]
+            if spec.startswith("+"):
+                from_start, n = True, int(spec[1:])
+            else:
+                n = int(spec)
+        elif arg.startswith("+"):
+            from_start, n = True, int(arg[1:])
+        elif arg.startswith("-") and arg[1:].isdigit():
+            n = int(arg[1:])
+        else:
+            raise UsageError(f"tail: unsupported argument {arg!r}")
+        i += 1
+    cmd = Tail(n, from_start=from_start)
+    cmd.argv = list(argv)
+    return cmd

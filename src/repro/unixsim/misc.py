@@ -1,0 +1,151 @@
+"""Small simulated commands: cat, rev, fmt, col, iconv."""
+
+from __future__ import annotations
+
+import unicodedata
+from typing import List
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+
+
+class Cat(SimCommand):
+    """``cat`` with zero or more file arguments; ``-`` and no-args read stdin."""
+
+    def __init__(self, files: List[str] = ()) -> None:
+        super().__init__()
+        self.files = list(files)
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        if not self.files:
+            return data
+        parts: List[str] = []
+        for name in self.files:
+            if name == "-":
+                parts.append(data)
+            else:
+                parts.append(ctx.read_file(name))
+        return "".join(parts)
+
+
+class Rev(SimCommand):
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        return unlines([line[::-1] for line in lines_of(data)])
+
+
+class Fmt(SimCommand):
+    """``fmt -wN``.  The benchmarks use ``fmt -w1``: one word per line."""
+
+    def __init__(self, width: int = 75) -> None:
+        super().__init__()
+        self.width = width
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        out: List[str] = []
+        for line in lines_of(data):
+            words = line.split()
+            if not words:
+                out.append("")
+                continue
+            cur: List[str] = []
+            cur_len = 0
+            for w in words:
+                extra = len(w) if not cur else len(w) + 1
+                if cur and cur_len + extra > self.width:
+                    out.append(" ".join(cur))
+                    cur, cur_len = [w], len(w)
+                else:
+                    cur.append(w)
+                    cur_len += extra
+            if cur:
+                out.append(" ".join(cur))
+        return unlines(out)
+
+
+class Col(SimCommand):
+    """``col -bx``: drop backspace sequences, expand tabs to spaces."""
+
+    def __init__(self, no_backspace: bool = True, expand_tabs: bool = True) -> None:
+        super().__init__()
+        self.no_backspace = no_backspace
+        self.expand_tabs = expand_tabs
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        out: List[str] = []
+        for line in lines_of(data):
+            if self.no_backspace:
+                buf: List[str] = []
+                for c in line:
+                    if c == "\b":
+                        if buf:
+                            buf.pop()
+                    else:
+                        buf.append(c)
+                line = "".join(buf)
+            if self.expand_tabs:
+                line = line.expandtabs(8)
+            out.append(line)
+        return unlines(out)
+
+
+class Iconv(SimCommand):
+    """``iconv -f utf-8 -t ascii//translit``: strip accents, drop non-ASCII."""
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        normalized = unicodedata.normalize("NFKD", data)
+        return "".join(c for c in normalized if ord(c) < 128)
+
+
+def parse_cat(argv: List[str]) -> Cat:
+    files = [a for a in argv[1:] if not (a.startswith("-") and a != "-")]
+    cmd = Cat(files)
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_rev(argv: List[str]) -> Rev:
+    cmd = Rev()
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_fmt(argv: List[str]) -> Fmt:
+    width = 75
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "-w":
+            i += 1
+            width = int(args[i])
+        elif arg.startswith("-w"):
+            width = int(arg[2:])
+        elif arg.startswith("-") and arg[1:].isdigit():
+            width = int(arg[1:])
+        else:
+            raise UsageError(f"fmt: unsupported argument {arg!r}")
+        i += 1
+    cmd = Fmt(width)
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_col(argv: List[str]) -> Col:
+    no_backspace = expand = False
+    for arg in argv[1:]:
+        if arg.startswith("-") and len(arg) > 1:
+            for f in arg[1:]:
+                if f == "b":
+                    no_backspace = True
+                elif f == "x":
+                    expand = True
+                else:
+                    raise UsageError(f"col: unsupported flag -{f}")
+    cmd = Col(no_backspace=no_backspace, expand_tabs=expand)
+    cmd.argv = list(argv)
+    return cmd
+
+
+def parse_iconv(argv: List[str]) -> Iconv:
+    cmd = Iconv()
+    cmd.argv = list(argv)
+    return cmd

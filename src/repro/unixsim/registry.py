@@ -1,0 +1,65 @@
+"""Registry mapping argv to simulated command instances."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .awk_cmd import parse_awk
+from .base import SimCommand, UsageError
+from .columns import parse_expand, parse_join, parse_nl, parse_paste, parse_tac
+from .comm_cmd import parse_comm
+from .cut import parse_cut
+from .grep_cmd import parse_grep
+from .head_tail import parse_head, parse_tail
+from .misc import parse_cat, parse_col, parse_fmt, parse_iconv, parse_rev
+from .sed_cmd import parse_sed
+from .sort import parse_sort
+from .tr import parse_tr
+from .uniq import parse_uniq
+from .wc import parse_wc
+from .xargs_cmd import parse_xargs
+
+Parser = Callable[[List[str]], SimCommand]
+
+PARSERS: Dict[str, Parser] = {
+    "awk": parse_awk,
+    "gawk": parse_awk,
+    "cat": parse_cat,
+    "col": parse_col,
+    "comm": parse_comm,
+    "cut": parse_cut,
+    "expand": parse_expand,
+    "fmt": parse_fmt,
+    "join": parse_join,
+    "nl": parse_nl,
+    "paste": parse_paste,
+    "tac": parse_tac,
+    "grep": parse_grep,
+    "egrep": parse_grep,
+    "head": parse_head,
+    "iconv": parse_iconv,
+    "rev": parse_rev,
+    "sed": parse_sed,
+    "sort": parse_sort,
+    "tail": parse_tail,
+    "tr": parse_tr,
+    "uniq": parse_uniq,
+    "wc": parse_wc,
+    "xargs": parse_xargs,
+}
+
+
+def build(argv: List[str]) -> SimCommand:
+    """Build a simulated command from an argv list."""
+    if not argv:
+        raise UsageError("empty command")
+    name = argv[0]
+    try:
+        parser = PARSERS[name]
+    except KeyError:
+        raise UsageError(f"{name}: command not simulated") from None
+    return parser(argv)
+
+
+def is_simulated(name: str) -> bool:
+    return name in PARSERS

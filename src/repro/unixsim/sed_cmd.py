@@ -1,0 +1,147 @@
+"""Simulated ``sed`` for the script population of the benchmarks.
+
+Supported scripts:
+
+* ``s/regex/replacement/[g]`` with arbitrary single-character
+  delimiters, BRE groups, and ``\\1``/``&`` in the replacement,
+* ``Nq`` — quit after line N (``sed 100q``, ``sed 5q``),
+* ``Nd`` — delete line N (``sed 1d`` .. ``sed 5d``; a leading range of
+  single-line deletes, which is how the benchmarks use it),
+* ``$d`` — delete the last line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+from .bre import bre_to_python
+
+
+class SedSubstitute(SimCommand):
+    def __init__(self, pattern: str, replacement: str, global_: bool) -> None:
+        super().__init__()
+        self.regex = re.compile(bre_to_python(pattern))
+        self.raw_pattern = pattern
+        self.replacement = _convert_replacement(replacement)
+        self.count = 0 if global_ else 1
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        sub = self.regex.sub
+        repl = self.replacement
+        count = self.count
+        return unlines([sub(repl, l, count=count) for l in lines_of(data)])
+
+
+class SedQuit(SimCommand):
+    """``sed Nq``: print the first N lines then quit (== head -n N)."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        if n < 1:
+            raise UsageError("sed: q address must be >= 1")
+        self.n = n
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        return unlines(lines_of(data)[: self.n])
+
+
+class SedDelete(SimCommand):
+    """``sed Nd``: delete line N (or ``$d`` for the last line)."""
+
+    def __init__(self, n: int, last: bool = False) -> None:
+        super().__init__()
+        self.n = n
+        self.last = last
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        lines = lines_of(data)
+        if self.last:
+            return unlines(lines[:-1])
+        idx = self.n - 1
+        if 0 <= idx < len(lines):
+            del lines[idx]
+        return unlines(lines)
+
+
+def _convert_replacement(repl: str) -> str:
+    """Convert a sed replacement to :func:`re.sub` syntax."""
+    out: List[str] = []
+    i = 0
+    while i < len(repl):
+        c = repl[i]
+        if c == "\\" and i + 1 < len(repl):
+            nxt = repl[i + 1]
+            if nxt.isdigit():
+                out.append("\\" + nxt)
+            elif nxt == "n":
+                out.append("\n")
+            elif nxt == "&":
+                out.append("&")
+            else:
+                out.append(re.escape(nxt))
+            i += 2
+            continue
+        if c == "&":
+            out.append("\\g<0>")
+            i += 1
+            continue
+        if c == "\\":
+            out.append("\\\\")
+            i += 1
+            continue
+        out.append(c.replace("\\", "\\\\"))
+        i += 1
+    return "".join(out)
+
+
+_ADDR_Q = re.compile(r"^(\d+)q$")
+_ADDR_D = re.compile(r"^(\d+)d$")
+
+
+def _split_substitution(script: str):
+    delim = script[1]
+    parts: List[str] = []
+    cur: List[str] = []
+    i = 2
+    while i < len(script):
+        c = script[i]
+        if c == "\\" and i + 1 < len(script):
+            cur.append(c)
+            cur.append(script[i + 1])
+            i += 2
+            continue
+        if c == delim:
+            parts.append("".join(cur))
+            cur = []
+            i += 1
+            continue
+        cur.append(c)
+        i += 1
+    parts.append("".join(cur))
+    if len(parts) < 2:
+        raise UsageError(f"sed: unterminated s command {script!r}")
+    pattern, replacement = parts[0], parts[1]
+    flags = parts[2] if len(parts) > 2 else ""
+    return pattern, replacement, "g" in flags
+
+
+def parse_sed(argv: List[str]) -> SimCommand:
+    scripts = [a for a in argv[1:] if not a.startswith("-")]
+    if len(scripts) != 1:
+        raise UsageError(f"sed: expected exactly one script, got {scripts!r}")
+    script = scripts[0]
+    if script.startswith("s") and len(script) > 2:
+        pattern, replacement, g = _split_substitution(script)
+        cmd: SimCommand = SedSubstitute(pattern, replacement, g)
+    elif _ADDR_Q.match(script):
+        cmd = SedQuit(int(_ADDR_Q.match(script).group(1)))
+    elif _ADDR_D.match(script):
+        cmd = SedDelete(int(_ADDR_D.match(script).group(1)))
+    elif script == "$d":
+        cmd = SedDelete(0, last=True)
+    else:
+        raise UsageError(f"sed: unsupported script {script!r}")
+    cmd.argv = list(argv)
+    return cmd

@@ -1,0 +1,122 @@
+"""Simulated ``tr`` supporting translate / delete / squeeze / complement.
+
+Covers every flag combination in the benchmark suites: plain translate,
+``-c``, ``-d``, ``-s``, ``-cs``, ``-sc``, and SET2 repeat fills like
+``[\\012*]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import ExecContext, SimCommand, UsageError
+from .charsets import complement, parse_set
+
+
+class Tr(SimCommand):
+    def __init__(self, sets: List[str], comp: bool = False,
+                 delete: bool = False, squeeze: bool = False) -> None:
+        super().__init__()
+        if not sets or len(sets) > 2:
+            raise UsageError("tr: expected one or two SET arguments")
+        self.comp = comp
+        self.delete = delete
+        self.squeeze = squeeze
+
+        set1_chars, rep1 = parse_set(sets[0])
+        if rep1 is not None:
+            raise UsageError("tr: [c*] may only appear in SET2")
+        if comp:
+            set1_chars = complement(set1_chars)
+        self.set1 = set1_chars
+        self.set1_members = set(set1_chars)
+
+        self.translate_map: Optional[dict] = None
+        self.squeeze_set: Optional[set] = None
+
+        if delete:
+            if len(sets) == 2:
+                if not squeeze:
+                    raise UsageError(
+                        "tr: extra SET2 with -d but without -s")
+                set2_chars, rep2 = parse_set(sets[1], allow_repeat=True)
+                if rep2 is not None:
+                    set2_chars = set2_chars + [rep2[0]]
+                self.squeeze_set = set(set2_chars)
+            elif squeeze:
+                self.squeeze_set = set(self.set1_members)
+            return
+
+        if len(sets) == 1:
+            if not squeeze:
+                raise UsageError("tr: missing SET2")
+            self.squeeze_set = set(self.set1_members)
+            return
+
+        set2_chars, rep2 = parse_set(sets[1], allow_repeat=True)
+        if rep2 is not None:
+            fill, count = rep2
+            need = (count if count else max(0, len(set1_chars) - len(set2_chars)))
+            set2_chars = set2_chars + [fill] * need
+        if not set2_chars:
+            raise UsageError("tr: SET2 must be nonempty when translating")
+        if len(set2_chars) < len(set1_chars):
+            set2_chars = set2_chars + [set2_chars[-1]] * (
+                len(set1_chars) - len(set2_chars))
+        self.translate_map = dict(zip(set1_chars, set2_chars))
+        if squeeze:
+            self.squeeze_set = set(set2_chars[: len(set1_chars)])
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        # str.translate and compiled-regex squeezing run at C speed,
+        # keeping the simulated commands' relative costs close to the
+        # real coreutils' (important for the modeled-speedup tables)
+        if self.delete:
+            data = data.translate(self._delete_table())
+            if self.squeeze_set is not None:
+                data = self._squeeze(data)
+            return data
+        if self.translate_map is not None:
+            data = data.translate(self._translate_table())
+        if self.squeeze_set is not None:
+            data = self._squeeze(data)
+        return data
+
+    def _delete_table(self):
+        if not hasattr(self, "_del_tab"):
+            self._del_tab = str.maketrans(
+                {c: None for c in self.set1_members})
+        return self._del_tab
+
+    def _translate_table(self):
+        if not hasattr(self, "_tr_tab"):
+            self._tr_tab = str.maketrans(self.translate_map)
+        return self._tr_tab
+
+    def _squeeze(self, data: str) -> str:
+        if not hasattr(self, "_squeeze_re"):
+            import re
+
+            cls = "".join(re.escape(c) for c in sorted(self.squeeze_set))
+            self._squeeze_re = re.compile(f"([{cls}])\\1+")
+        return self._squeeze_re.sub(r"\1", data)
+
+
+def parse_tr(argv: List[str]) -> Tr:
+    comp = delete = squeeze = False
+    sets: List[str] = []
+    for arg in argv[1:]:
+        if arg.startswith("-") and arg != "-" and not sets and len(arg) > 1 \
+                and all(f in "cCds" for f in arg[1:]):
+            for f in arg[1:]:
+                if f in "cC":
+                    comp = True
+                elif f == "d":
+                    delete = True
+                elif f == "s":
+                    squeeze = True
+        else:
+            sets.append(arg)
+    cmd = Tr(sets, comp=comp, delete=delete, squeeze=squeeze)
+    cmd.argv = list(argv)
+    return cmd

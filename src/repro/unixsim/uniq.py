@@ -1,0 +1,53 @@
+"""Simulated ``uniq`` (plain and ``-c`` with GNU count padding).
+
+``uniq -c`` right-aligns counts in a 7-character field, which is what
+makes the paper's ``stitch2`` combiner need its ``delPad``/``addPad``
+handling — the padding must be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+
+COUNT_WIDTH = 7
+
+
+def format_count(count: int, line: str) -> str:
+    """GNU ``uniq -c`` line format: ``%7d %s``."""
+    return f"{count:{COUNT_WIDTH}d} {line}"
+
+
+class Uniq(SimCommand):
+    def __init__(self, count: bool = False) -> None:
+        super().__init__()
+        self.count = count
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        lines = lines_of(data)
+        out: List[str] = []
+        prev = None
+        n = 0
+        for line in lines:
+            if line == prev:
+                n += 1
+                continue
+            if prev is not None:
+                out.append(format_count(n, prev) if self.count else prev)
+            prev, n = line, 1
+        if prev is not None:
+            out.append(format_count(n, prev) if self.count else prev)
+        return unlines(out)
+
+
+def parse_uniq(argv: List[str]) -> Uniq:
+    count = False
+    for arg in argv[1:]:
+        if arg == "-c":
+            count = True
+        elif arg.startswith("-"):
+            raise UsageError(f"uniq: unsupported flag {arg}")
+    cmd = Uniq(count=count)
+    cmd.argv = list(argv)
+    return cmd

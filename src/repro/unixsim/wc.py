@@ -1,0 +1,48 @@
+"""Simulated ``wc`` (``-l``, ``-w``, ``-c``; stdin form prints bare counts)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import ExecContext, SimCommand, UsageError
+
+
+class Wc(SimCommand):
+    def __init__(self, lines: bool = False, words: bool = False,
+                 chars: bool = False) -> None:
+        super().__init__()
+        if not (lines or words or chars):
+            lines = words = chars = True
+        self.lines = lines
+        self.words = words
+        self.chars = chars
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        counts: List[int] = []
+        if self.lines:
+            counts.append(data.count("\n"))
+        if self.words:
+            counts.append(len(data.split()))
+        if self.chars:
+            counts.append(len(data))
+        return " ".join(str(c) for c in counts) + "\n"
+
+
+def parse_wc(argv: List[str]) -> Wc:
+    lines = words = chars = False
+    for arg in argv[1:]:
+        if arg.startswith("-") and len(arg) > 1:
+            for f in arg[1:]:
+                if f == "l":
+                    lines = True
+                elif f == "w":
+                    words = True
+                elif f in ("c", "m"):
+                    chars = True
+                else:
+                    raise UsageError(f"wc: unsupported flag -{f}")
+        else:
+            raise UsageError(f"wc: file arguments not supported: {arg!r}")
+    cmd = Wc(lines=lines, words=words, chars=chars)
+    cmd.argv = list(argv)
+    return cmd

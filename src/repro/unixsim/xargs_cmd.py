@@ -1,0 +1,95 @@
+"""Simulated ``xargs`` over the virtual filesystem.
+
+Covers the benchmark forms:
+
+* ``xargs cat``       — concatenate the named files,
+* ``xargs file``      — report each file's type (``name: ASCII text``),
+* ``xargs -L 1 wc -l``— per-file line counts (``N name``).
+
+Names that do not exist in the virtual filesystem raise
+:class:`CommandError`, mirroring the probe failures the paper's
+preprocessing uses to decide it must feed file-name dictionaries to
+``xargs`` commands.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import CommandError, ExecContext, SimCommand, UsageError, lines_of
+
+
+class XargsCat(SimCommand):
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        names = data.split()
+        if ctx is None and names:
+            raise CommandError("xargs cat: no filesystem")
+        return "".join(ctx.read_file(n) for n in names)
+
+
+class XargsFile(SimCommand):
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        names = data.split()
+        out: List[str] = []
+        for n in names:
+            if ctx is None:
+                raise CommandError("xargs file: no filesystem")
+            contents = ctx.read_file(n)
+            if contents == "":
+                kind = "empty"
+            elif contents.startswith("#!"):
+                interp = contents.split("\n", 1)[0]
+                if "sh" in interp:
+                    kind = "POSIX shell script, ASCII text executable"
+                else:
+                    kind = "a script text executable"
+            elif all(ord(c) < 128 for c in contents[:4096]):
+                kind = "ASCII text"
+            else:
+                kind = "data"
+            out.append(f"{n}: {kind}")
+        return "".join(l + "\n" for l in out)
+
+
+class XargsWcL(SimCommand):
+    """``xargs -L 1 wc -l``: one ``count name`` line per input file."""
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        out: List[str] = []
+        for line in lines_of(data):
+            for name in line.split():
+                if ctx is None:
+                    raise CommandError("xargs wc: no filesystem")
+                contents = ctx.read_file(name)
+                out.append(f"{contents.count(chr(10))} {name}")
+        return "".join(l + "\n" for l in out)
+
+
+def parse_xargs(argv: List[str]) -> SimCommand:
+    args = argv[1:]
+    per_line = False
+    i = 0
+    while i < len(args) and args[i].startswith("-"):
+        if args[i] == "-L":
+            per_line = True
+            i += 2
+        elif args[i].startswith("-L"):
+            per_line = True
+            i += 1
+        elif args[i] == "-n":
+            i += 2
+        else:
+            raise UsageError(f"xargs: unsupported flag {args[i]}")
+    inner = args[i:]
+    if inner == ["cat"]:
+        cmd: SimCommand = XargsCat()
+    elif inner == ["file"]:
+        cmd = XargsFile()
+    elif inner[:1] == ["wc"] and "-l" in inner:
+        cmd = XargsWcL()
+    elif per_line and inner[:1] == ["wc"]:
+        cmd = XargsWcL()
+    else:
+        raise UsageError(f"xargs: unsupported inner command {inner!r}")
+    cmd.argv = list(argv)
+    return cmd

@@ -1,0 +1,28 @@
+"""Benchmark workloads: the four suites, input generators, runners."""
+
+from .runner import (
+    ScriptRun,
+    build_context,
+    parse_script,
+    run_parallel,
+    run_serial,
+)
+from .scripts import (
+    ALL_SCRIPTS,
+    ANALYTICS,
+    BenchmarkScript,
+    ONELINERS,
+    POETS,
+    SUITES,
+    ScriptPipeline,
+    UNIX50,
+    get_script,
+    total_expected_stages,
+)
+
+__all__ = [
+    "ALL_SCRIPTS", "ANALYTICS", "BenchmarkScript", "ONELINERS", "POETS",
+    "SUITES", "ScriptPipeline", "ScriptRun", "UNIX50", "build_context",
+    "get_script", "parse_script", "run_parallel", "run_serial",
+    "total_expected_stages",
+]

@@ -1,0 +1,156 @@
+"""Seeded synthetic input generators for the four benchmark suites.
+
+The paper's datasets (3.4 GB transit telemetry, 927 MB of Project
+Gutenberg books, chess logs, Unix-history text) are reproduced as
+size-parameterized synthetic equivalents that preserve the structure
+each pipeline is sensitive to: word/line duplicate distributions for
+the NLP pipelines, CSV field layout and timestamp format for the
+transit analytics, piece/capture notation for the chess puzzles.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict, List
+
+_VOCAB = (
+    "the quick brown fox jumps over lazy dog and said unto them light "
+    "upon land of earth king spake answered voice people children day "
+    "night water fire mountain river tree stone house bread wine gold "
+    "silver shepherd flock wilderness darkness morning evening heart "
+    "soul spirit word truth glory kingdom power mercy grace peace war "
+    "sword shield horse chariot city gate wall tower field vineyard "
+    "harvest seed fruit blossom winter summer spring autumn wind rain "
+    "cloud star moon sun sea ship sail anchor harbor journey path road "
+    "love hate joy sorrow fear hope faith doubt wisdom folly pride"
+).split()
+
+_NAMES = ["thompson", "ritchie", "kernighan", "mcilroy", "pike", "aho",
+          "weinberger", "ossanna", "bourne", "johnson", "lesk", "cherry"]
+
+
+def book_text(n_lines: int, seed: int = 0) -> str:
+    """Gutenberg-style prose: mixed case, punctuation, Zipfy repetition."""
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) for i in range(len(_VOCAB))]
+    out: List[str] = []
+    for _ in range(n_lines):
+        k = rng.randint(3, 10)
+        words = rng.choices(_VOCAB, weights=weights, k=k)
+        if rng.random() < 0.35:
+            words[0] = words[0].capitalize()
+        line = " ".join(words)
+        roll = rng.random()
+        if roll < 0.25:
+            line += "."
+        elif roll < 0.32:
+            line += ","
+        elif roll < 0.36:
+            line += "!"
+        out.append(line)
+    return "".join(l + "\n" for l in out)
+
+
+def word_list(n_lines: int, seed: int = 0, sort: bool = False) -> str:
+    """One word per line (dictionary-style)."""
+    rng = random.Random(seed)
+    words = [rng.choice(_VOCAB) for _ in range(n_lines)]
+    if sort:
+        words.sort()
+    return "".join(w + "\n" for w in words)
+
+
+def transit_csv(n_lines: int, seed: int = 0) -> str:
+    """Mass-transit telemetry: ``date T time,type,vehicle,reading``."""
+    rng = random.Random(seed)
+    out: List[str] = []
+    for _ in range(n_lines):
+        day = rng.randint(1, 28)
+        month = rng.randint(1, 12)
+        hour, minute, sec = rng.randint(0, 23), rng.randint(0, 59), rng.randint(0, 59)
+        vehicle = f"veh{rng.randint(1, 200):03d}"
+        kind = rng.choice(["bus", "tram", "trolley"])
+        reading = rng.randint(0, 5000)
+        out.append(f"2020-{month:02d}-{day:02d}T{hour:02d}:{minute:02d}:{sec:02d},"
+                   f"{kind},{vehicle},{reading}")
+    return "".join(l + "\n" for l in out)
+
+
+def chess_games(n_lines: int, seed: int = 0) -> str:
+    """Chess move logs with piece letters, captures, and coordinates."""
+    rng = random.Random(seed)
+    pieces = ["K", "Q", "R", "B", "N", ""]
+    out: List[str] = []
+    for i in range(n_lines):
+        move_no = (i % 40) + 1
+        piece = rng.choice(pieces)
+        capture = "x" if rng.random() < 0.25 else ""
+        square = rng.choice("abcdefgh") + str(rng.randint(1, 8))
+        suffix = rng.choice(["", "+", "#", ""]) if rng.random() < 0.1 else ""
+        tail = rng.choice(["", " 1-0", " 0-1", " 1/2-1/2"]) \
+            if move_no == 40 else ""
+        out.append(f"{move_no}. {piece}{capture}{square}{suffix}{tail}")
+    return "".join(l + "\n" for l in out)
+
+
+def unix_history(n_lines: int, seed: int = 0) -> str:
+    """Unix-release history table: ``version\\tmachine\\tyear\\tlab (office)``."""
+    rng = random.Random(seed)
+    out: List[str] = []
+    for _ in range(n_lines):
+        tag = rng.choice(["AT&T", "AT&T", "BSD"])
+        version = f"{tag} UNIX V{rng.randint(1, 10)}"
+        machine = rng.choice(["PDP-7", "PDP-11", "VAX-11", "Interdata"])
+        year = rng.randint(1969, 1989)
+        who = rng.choice(_NAMES)
+        line = (f"{version}\t{machine}\t{who}\t{year}\t"
+                f"Bell Labs ({rng.choice(['Murray Hill', 'Holmdel'])})")
+        out.append(line)
+    return "".join(l + "\n" for l in out)
+
+
+def people_csv(n_lines: int, seed: int = 0) -> str:
+    """``First Last`` name pairs (unix50 name-extraction puzzles)."""
+    rng = random.Random(seed)
+    firsts = ["ken", "dennis", "brian", "doug", "rob", "alfred", "peter",
+              "steve", "joe", "stu"]
+    out = [f"{rng.choice(firsts).capitalize()} "
+           f"{rng.choice(_NAMES).capitalize()}" for _ in range(n_lines)]
+    return "".join(l + "\n" for l in out)
+
+
+def log_emails(n_lines: int, seed: int = 0) -> str:
+    """Mail-log style lines: ``To: user@host`` (unix50 recipient puzzles)."""
+    rng = random.Random(seed)
+    out: List[str] = []
+    for _ in range(n_lines):
+        user = rng.choice(_NAMES)
+        host = rng.choice(["research.att.com", "bell-labs.com", "mit.edu"])
+        out.append(f"To: {user}@{host}")
+    return "".join(l + "\n" for l in out)
+
+
+def numbered_files(n_files: int, lines_per_file: int, seed: int = 0
+                   ) -> Dict[str, str]:
+    """A small virtual corpus keyed by file name (xargs workloads)."""
+    rng = random.Random(seed)
+    fs: Dict[str, str] = {}
+    for i in range(n_files):
+        name = f"book_{i:03d}.txt"
+        fs[name] = book_text(max(1, lines_per_file + rng.randint(-3, 3)),
+                             seed=seed * 1000 + i)
+    return fs
+
+
+def dictionary_file(seed: int = 0) -> str:
+    """A sorted dictionary for the ``spell`` pipeline's ``comm -23``."""
+    words = sorted(set(_VOCAB) | set(_NAMES) | set(string.ascii_lowercase))
+    return "".join(w + "\n" for w in words)
+
+
+def scripts_listing(n_lines: int, seed: int = 0) -> str:
+    """``file`` style listing fodder for shortest-scripts (one path per line)."""
+    rng = random.Random(seed)
+    out = [f"bin/tool_{rng.randint(0, 999):03d}" for _ in range(n_lines)]
+    return "".join(l + "\n" for l in out)

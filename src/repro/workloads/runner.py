@@ -1,0 +1,114 @@
+"""Serial and parallel execution of benchmark scripts.
+
+A script runs its pipelines in order, sharing one virtual filesystem;
+a pipeline with an ``output_file`` stores its output there for later
+pipelines, others contribute to the script's stdout.  The parallel
+runner synthesizes combiners (with a cross-script cache, as in the
+paper where synthesis runs once per unique command), compiles each
+pipeline, and executes it with ``k``-way parallelism.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.synthesis.synthesizer import SynthesisConfig, SynthesisResult
+from ..parallel.executor import ParallelPipeline
+from ..parallel.planner import PipelinePlan, compile_pipeline, synthesize_pipeline
+from ..parallel.runner import SERIAL, StageRunner
+from ..shell.pipeline import Pipeline
+from ..unixsim import ExecContext
+from .scripts import BenchmarkScript
+
+SynthCache = Dict[Tuple[str, ...], SynthesisResult]
+
+
+@dataclass
+class ScriptRun:
+    """Result of executing one benchmark script."""
+
+    output: str
+    seconds: float
+    plans: List[PipelinePlan] = field(default_factory=list)
+
+    @property
+    def parallelized(self) -> int:
+        return sum(p.parallelized for p in self.plans)
+
+    @property
+    def eliminated(self) -> int:
+        return sum(p.eliminated for p in self.plans)
+
+    @property
+    def stages(self) -> int:
+        return sum(p.num_stages for p in self.plans)
+
+
+def build_context(script: BenchmarkScript, scale: int,
+                  seed: int = 0) -> ExecContext:
+    return ExecContext(fs=script.make_fs(scale, seed), env=dict(script.env))
+
+
+def parse_script(script: BenchmarkScript,
+                 context: ExecContext) -> List[Pipeline]:
+    return [Pipeline.from_string(sp.text, env=script.env, context=context)
+            for sp in script.pipelines]
+
+
+def run_serial(script: BenchmarkScript, scale: int, seed: int = 0,
+               context: Optional[ExecContext] = None) -> ScriptRun:
+    """Execute the script's pipelines serially (the paper's T_orig/u1)."""
+    context = context or build_context(script, scale, seed)
+    start = time.perf_counter()
+    chunks: List[str] = []
+    for sp, pipeline in zip(script.pipelines, parse_script(script, context)):
+        out = pipeline.run()
+        if sp.output_file is not None:
+            context.fs[sp.output_file] = out
+        else:
+            chunks.append(out)
+    return ScriptRun(output="".join(chunks),
+                     seconds=time.perf_counter() - start)
+
+
+def run_parallel(script: BenchmarkScript, scale: int, k: int,
+                 seed: int = 0,
+                 engine: str = SERIAL,
+                 optimize: bool = True,
+                 cache: Optional[SynthCache] = None,
+                 config: Optional[SynthesisConfig] = None,
+                 context: Optional[ExecContext] = None) -> ScriptRun:
+    """Synthesize, compile, and execute the script with k-way parallelism.
+
+    Synthesis time is *not* included in the reported seconds (the paper
+    reports synthesis separately from pipeline execution).
+    """
+    context = context or build_context(script, scale, seed)
+    cache = cache if cache is not None else {}
+    plans: List[PipelinePlan] = []
+    chunks: List[str] = []
+    elapsed = 0.0
+    for sp in script.pipelines:
+        pipeline = Pipeline.from_string(sp.text, env=script.env,
+                                        context=context)
+        synthesize_pipeline(pipeline, config=config, cache=cache)
+        plan = compile_pipeline(pipeline, cache, optimize=optimize)
+        plans.append(plan)
+        # one worker pool per pipeline: process workers snapshot the
+        # virtual filesystem at startup, and chained pipelines add
+        # intermediate files between pipelines
+        runner = StageRunner(engine=engine, max_workers=k, context=context)
+        try:
+            pp = ParallelPipeline(plan, k=k, engine=engine, runner=runner)
+            start = time.perf_counter()
+            out = pp.run()
+            elapsed += time.perf_counter() - start
+        finally:
+            runner.close()
+        if sp.output_file is not None:
+            context.fs[sp.output_file] = out
+        else:
+            chunks.append(out)
+    return ScriptRun(output="".join(chunks), seconds=elapsed, plans=plans)

@@ -1,0 +1,544 @@
+"""The four benchmark suites (70 scripts, 427 pipeline stages).
+
+Reconstructed from the paper's appendix: Table 3 gives each script's
+pipeline structure (stage counts per pipeline) and Table 10 gives the
+command/flag population per script.  Scripts whose exact sources are
+not public are reconstructed best-effort with the same commands and
+the same per-pipeline stage counts, so the suite totals match the
+paper (70 scripts, 427 stages; the per-script ``k/n`` stage counts of
+Table 3 are asserted by the test suite).
+
+Inputs are seeded synthetic equivalents of the paper's datasets
+(:mod:`repro.workloads.datagen`), scaled by a ``scale`` parameter
+(roughly the number of input lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from . import datagen
+
+
+@dataclass(frozen=True)
+class ScriptPipeline:
+    """One pipeline of a benchmark script.
+
+    ``output_file`` routes the pipeline's output into the virtual
+    filesystem for consumption by a later pipeline of the same script
+    (the paper's multi-pipeline scripts chain through temp files).
+    """
+
+    text: str
+    output_file: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BenchmarkScript:
+    suite: str
+    name: str
+    title: str
+    pipelines: List[ScriptPipeline]
+    make_fs: Callable[[int, int], Dict[str, str]]
+    env: Dict[str, str] = field(default_factory=lambda: {"IN": "input.txt"})
+    #: per-pipeline stage counts from the paper's Table 3 (cat excluded)
+    expected_stages: tuple = ()
+
+    @property
+    def total_stages(self) -> int:
+        return sum(self.expected_stages)
+
+
+def _text_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.book_text(scale, seed)}
+
+
+def _two_text_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.book_text(scale, seed),
+            "input2.txt": datagen.book_text(scale, seed + 1)}
+
+
+def _transit_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.transit_csv(scale, seed)}
+
+
+def _chess_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.chess_games(scale, seed)}
+
+
+def _history_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.unix_history(scale, seed)}
+
+
+def _people_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.people_csv(scale, seed)}
+
+
+def _emails_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.log_emails(scale, seed)}
+
+
+def _spell_fs(scale: int, seed: int) -> Dict[str, str]:
+    return {"input.txt": datagen.book_text(scale, seed),
+            "dict.txt": datagen.dictionary_file(seed)}
+
+
+def _books_fs(scale: int, seed: int) -> Dict[str, str]:
+    fs = datagen.numbered_files(6, max(2, scale // 6), seed)
+    fs["input.txt"] = "".join(name + "\n" for name in sorted(fs))
+    return fs
+
+
+def _scripts_fs(scale: int, seed: int) -> Dict[str, str]:
+    import random
+
+    rng = random.Random(seed)
+    fs: Dict[str, str] = {}
+    for i in range(12):
+        name = f"tool_{i:03d}"
+        if rng.random() < 0.6:
+            body = "#!/bin/sh\n" + "".join(
+                f"echo step {j}\n" for j in range(rng.randint(0, scale // 4 + 2)))
+        else:
+            body = datagen.book_text(rng.randint(1, 4), seed * 100 + i)
+        fs[name] = body
+    fs["input.txt"] = "".join(n + "\n" for n in sorted(fs) if n != "input.txt")
+    return fs
+
+
+def _code_fs(scale: int, seed: int) -> Dict[str, str]:
+    import random
+
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(scale):
+        if rng.random() < 0.3:
+            lines.append(f'print("hello world {rng.randint(0, 99)} times")')
+        else:
+            lines.append(f"x = {rng.randint(0, 999)}")
+    return {"input.txt": "".join(l + "\n" for l in lines)}
+
+
+def _planets_fs(scale: int, seed: int) -> Dict[str, str]:
+    import random
+
+    rng = random.Random(seed)
+    bodies = ["Mercury", "Venus", "Earth", "Mars", "Jupiter", "Saturn",
+              "Uranus", "Neptune", "Pluto", "Ceres", "Eris", "Haumea"]
+    lines = [f"{rng.choice(bodies)} {rng.randint(100, 999999)}"
+             for _ in range(scale)]
+    return {"input.txt": "".join(l + "\n" for l in lines)}
+
+
+def _readme_fs(scale: int, seed: int) -> Dict[str, str]:
+    import random
+
+    rng = random.Random(seed)
+    tools = ["sort,", "grep,", "awk,", "sed,", "cut,", "tr,", "uniq,"]
+    lines = [f"the unix tools are {rng.choice(tools)} and more {rng.choice(tools)}"
+             for _ in range(scale)]
+    return {"input.txt": "".join(l + "\n" for l in lines)}
+
+
+def _P(*texts_and_outs) -> List[ScriptPipeline]:
+    out = []
+    for item in texts_and_outs:
+        if isinstance(item, tuple):
+            out.append(ScriptPipeline(item[0], output_file=item[1]))
+        else:
+            out.append(ScriptPipeline(item))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# analytics-mts (4 scripts, 30 stages)
+
+_AWK_SWAP = "awk -v OFS=\"\\t\" '{print \\$2,\\$1}'"
+
+ANALYTICS = [
+    BenchmarkScript(
+        "analytics-mts", "1.sh", "vehicles per day",
+        _P("cat $IN | sed 's/T..:..:..//' | cut -d ',' -f 1,3 | sort -u | "
+           "cut -d ',' -f 1 | sort | uniq -c | " + _AWK_SWAP),
+        _transit_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "analytics-mts", "2.sh", "vehicle days on road",
+        _P("cat $IN | sed 's/T..:..:..//' | cut -d ',' -f 3,1 | sort -u | "
+           "cut -d ',' -f 2 | sort | uniq -c | sort -k1n | " + _AWK_SWAP),
+        _transit_fs, expected_stages=(8,)),
+    BenchmarkScript(
+        "analytics-mts", "3.sh", "vehicle hours on road",
+        _P("cat $IN | sed 's/T\\(..\\):..:../,\\1/' | cut -d ',' -f 1,2,4 | "
+           "sort -u | cut -d ',' -f 3 | sort | uniq -c | sort -k1n | " + _AWK_SWAP),
+        _transit_fs, expected_stages=(8,)),
+    BenchmarkScript(
+        "analytics-mts", "4.sh", "hours monitored per day",
+        _P("cat $IN | sed 's/T\\(..\\):..:../,\\1/' | cut -d ',' -f 1,2 | "
+           "sort -u | cut -d ',' -f 1 | sort | uniq -c | " + _AWK_SWAP),
+        _transit_fs, expected_stages=(7,)),
+]
+
+# ---------------------------------------------------------------------------
+# oneliners (10 scripts, 52 stages)
+
+ONELINERS = [
+    BenchmarkScript(
+        "oneliners", "bi-grams.sh", "adjacent word pairs",
+        _P("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | tail +2 | sort | uniq"),
+        _text_fs, expected_stages=(5,)),
+    BenchmarkScript(
+        "oneliners", "diff.sh", "compare streams",
+        _P("cat $IN | sed 1d",
+           ("cat $IN | tr '[:lower:]' '[:upper:]' | sort", "d1.txt"),
+           ("cat $IN2 | tr '[:upper:]' '[:lower:]' | sort", "d2.txt"),
+           "cat d1.txt | sed 2d",
+           "cat d2.txt | tail +2"),
+        _two_text_fs, env={"IN": "input.txt", "IN2": "input2.txt"},
+        expected_stages=(1, 2, 2, 1, 1)),
+    BenchmarkScript(
+        "oneliners", "nfa-regex.sh", "backreference regex match",
+        _P("cat $IN | tr A-Z a-z | "
+           "grep '\\(.\\).*\\1\\(.\\).*\\2\\(.\\).*\\3\\(.\\).*\\4'"),
+        _text_fs, expected_stages=(2,)),
+    BenchmarkScript(
+        "oneliners", "set-diff.sh", "set difference of streams",
+        _P("cat $IN | sed 3d",
+           ("cat $IN | cut -d ' ' -f 1 | tr A-Z a-z | sort", "s1.txt"),
+           ("cat $IN2 | tr A-Z a-z | sort", "s2.txt"),
+           "cat s1.txt | sed 4d",
+           "cat s2.txt | sed 5d"),
+        _two_text_fs, env={"IN": "input.txt", "IN2": "input2.txt"},
+        expected_stages=(1, 3, 2, 1, 1)),
+    BenchmarkScript(
+        "oneliners", "shortest-scripts.sh", "shortest shell scripts",
+        _P("cat $IN | xargs file | grep 'shell script' | cut -d: -f1 | "
+           "xargs -L 1 wc -l | grep -v '^0$' | sort -n | head -15"),
+        _scripts_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "oneliners", "sort-sort.sh", "sort twice",
+        _P("cat $IN | tr A-Z a-z | sort | sort -r"),
+        _text_fs, expected_stages=(3,)),
+    BenchmarkScript(
+        "oneliners", "sort.sh", "plain sort",
+        _P("cat $IN | sort"),
+        _text_fs, expected_stages=(1,)),
+    BenchmarkScript(
+        "oneliners", "spell.sh", "spell checker",
+        _P("cat $IN | iconv -f utf-8 -t ascii//translit | col -bx | "
+           "tr -cs A-Za-z '\\n' | tr A-Z a-z | tr -d '[:punct:]' | sort | "
+           "uniq | comm -23 - $dict"),
+        _spell_fs, env={"IN": "input.txt", "dict": "dict.txt"},
+        expected_stages=(8,)),
+    BenchmarkScript(
+        "oneliners", "top-n.sh", "100 most frequent words",
+        _P("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | "
+           "sort -rn | sed 100q"),
+        _text_fs, expected_stages=(6,)),
+    BenchmarkScript(
+        "oneliners", "wf.sh", "word frequencies",
+        _P("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | "
+           "sort -rn"),
+        _text_fs, expected_stages=(5,)),
+]
+
+# ---------------------------------------------------------------------------
+# poets (22 scripts, 185 stages)
+
+_TOKENIZE = "tr -sc '[A-Z][a-z]' '[\\012*]'"
+
+POETS = [
+    BenchmarkScript(
+        "poets", "1_1.sh", "count_words",
+        _P("cat $IN | sed 's;^;$PREFIX;' | xargs cat | " + _TOKENIZE +
+           " | sort | uniq -c | sort -rn"),
+        _books_fs, env={"IN": "input.txt", "PREFIX": ""},
+        expected_stages=(6,)),
+    BenchmarkScript(
+        "poets", "2_1.sh", "merge_upper",
+        _P("cat $IN | tr -d '[:punct:]' | tr '[a-z]' '[A-Z]' | "
+           "tr -sc '[A-Z]' '[\\012*]' | sort | uniq -c | sort -rn | head"),
+        _text_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "poets", "2_2.sh", "count_vowel_seq",
+        _P("cat $IN | tr -d '[:punct:]' | tr 'a-z' '[A-Z]' | "
+           "tr -sc 'AEIOU' '[\\012*]' | sort | uniq -c | sort -rn | head"),
+        _text_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "poets", "3_1.sh", "sort",
+        _P("cat $IN | tr -d '[:punct:]' | " + _TOKENIZE +
+           " | sort | uniq -c | sort -nr | head | awk '{print \\$2}'"),
+        _text_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "poets", "3_2.sh", "sort_words_by_folding",
+        _P("cat $IN | col -bx | tr -d '[:punct:]' | " + _TOKENIZE +
+           " | sort | uniq | sort -f | head"),
+        _text_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "poets", "3_3.sh", "sort_words_by_rhyming",
+        _P("cat $IN | tr -d '[:punct:]' | " + _TOKENIZE +
+           " | sort | uniq -c | rev | sort | rev | awk '{print \\$2}' | head"),
+        _text_fs, expected_stages=(9,)),
+    BenchmarkScript(
+        "poets", "4_3.sh", "bigrams",
+        _P(("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | tail +2",
+            "words.txt"),
+           ("cat words.txt | sed 1d", "next.txt"),
+           "cat next.txt | sort | uniq -c | tail +3"),
+        _text_fs, expected_stages=(4, 1, 3)),
+    BenchmarkScript(
+        "poets", "4_3b.sh", "count_trigrams",
+        _P(("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | tail +2",
+            "w1.txt"),
+           ("cat w1.txt | sed 1d", "w2.txt"),
+           ("cat w2.txt | sed 2d", "w3.txt"),
+           "cat w3.txt | sort | uniq -c | tail +3"),
+        _text_fs, expected_stages=(4, 1, 1, 3)),
+    BenchmarkScript(
+        "poets", "6_1.sh", "trigram_rec",
+        _P("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | grep 'the land of' | "
+           "sort | uniq -c | sort -rn | sed 5q",
+           "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | grep 'And he said' | "
+           "sort | uniq -c | sort -rn | sed 5q"),
+        _text_fs, expected_stages=(7, 7)),
+    BenchmarkScript(
+        "poets", "6_1_1.sh", "uppercase_by_token",
+        _P("cat $IN | tr -d '[:punct:]' | " + _TOKENIZE +
+           " | sort | uniq | grep -c '^[A-Z]'"),
+        _text_fs, expected_stages=(5,)),
+    BenchmarkScript(
+        "poets", "6_1_2.sh", "uppercase_by_type",
+        _P("cat $IN | " + _TOKENIZE +
+           " | sort -u | grep '^[A-Z]' | tr '[A-Z]' '[a-z]' | sort | uniq"),
+        _text_fs, expected_stages=(6,)),
+    BenchmarkScript(
+        "poets", "6_2.sh", "4letter_words",
+        _P("cat $IN | tr -d '[:punct:]' | " + _TOKENIZE +
+           " | sort | uniq | grep -c '^....$'",
+           "cat $IN | tr -d '[:punct:]' | " + _TOKENIZE +
+           " | tr A-Z a-z | sort | uniq | grep '^....$'"),
+        _text_fs, expected_stages=(5, 6)),
+    BenchmarkScript(
+        "poets", "6_3.sh", "words_no_vowels",
+        _P("cat $IN | tr -d '[:punct:]' | " + _TOKENIZE +
+           " | tr A-Z a-z | grep -vi '[aeiou]' | sort | uniq -c | sort -rn"),
+        _text_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "poets", "6_4.sh", "1syllable_words",
+        _P("cat $IN | tr -d '[:punct:]' | " + _TOKENIZE + " | tr A-Z a-z | "
+           "grep -i '^[^aeiou]*[aeiou][^aeiou]*$' | sort | uniq -c | "
+           "sort -rn | head"),
+        _text_fs, expected_stages=(8,)),
+    BenchmarkScript(
+        "poets", "6_5.sh", "2syllable_words",
+        _P("cat $IN | tr -d '[:punct:]' | tr -sc '[A-Z][a-z]' ' [\\012*]' | "
+           "tr A-Z a-z | grep -i '^[^aeiou]*[aeiou][^aeiou]*[aeiou][^aeiou]$' | "
+           "sort | uniq -c | sort -rn | head"),
+        _text_fs, expected_stages=(8,)),
+    BenchmarkScript(
+        "poets", "6_7.sh", "verses_2om_3om_2instances",
+        _P("cat $IN | tr A-Z a-z | sort | uniq | grep -c 'light.*light'",
+           "cat $IN | tr A-Z a-z | sort | uniq | "
+           "grep -c 'light.*light.\\*light'",
+           "cat $IN | tr A-Z a-z | grep 'light.*light' | sort | uniq | "
+           "grep -vc 'light.*light.\\*light'"),
+        _text_fs, expected_stages=(4, 4, 5)),
+    BenchmarkScript(
+        "poets", "7_2.sh", "count_consonant_seq",
+        _P("cat $IN | tr '[a-z]' '[A-Z]' | tr -d '[:punct:]' | "
+           "tr -sc 'BCDFGHJKLMNPQRSTVWXYZ' '[\\012*]' | sort | uniq -c | "
+           "sort -rn | head"),
+        _text_fs, expected_stages=(7,)),
+    BenchmarkScript(
+        "poets", "8.2_1.sh", "vowel_sequencies_gr_1K",
+        _P("cat $IN | col -bx | tr -d '[:punct:]' | "
+           "tr -sc 'AEIOUaeiou' '[\\012*]' | sort | uniq -c | sort -rn | "
+           "awk '\\$1 >= 1000' | awk '{print \\$2}'"),
+        _text_fs, expected_stages=(8,)),
+    BenchmarkScript(
+        "poets", "8.2_2.sh", "bigrams_appear_twice",
+        _P(("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | tail +2",
+            "bw.txt"),
+           ("cat bw.txt | sed 1d", "bn.txt"),
+           ("cat bn.txt | sort | uniq -c | tail +3", "bc.txt"),
+           "cat bc.txt | awk '\\$1 == 2 {print \\$2, \\$3}'"),
+        _text_fs, expected_stages=(4, 1, 3, 1)),
+    BenchmarkScript(
+        "poets", "8.3_2.sh", "find_anagrams",
+        _P(("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq",
+            "aw.txt"),
+           ("cat aw.txt | rev", "ar.txt"),
+           ("cat ar.txt | sort", "as.txt"),
+           "cat as.txt | sort | uniq -c | awk '\\$1 >= 2 {print \\$2}'"),
+        _text_fs, expected_stages=(4, 1, 1, 3)),
+    BenchmarkScript(
+        "poets", "8.3_3.sh", "compare_exodus_genesis",
+        _P(("cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq | sort -f",
+            "g1.txt"),
+           ("cat $IN2 | tr -cs A-Za-z '\\n' | sort", "g2.txt"),
+           "cat g1.txt | comm -23 - g2.txt | sort | head"),
+        _two_text_fs, env={"IN": "input.txt", "IN2": "input2.txt"},
+        expected_stages=(5, 2, 3)),
+    BenchmarkScript(
+        "poets", "8_1.sh", "sort_words_by_n_syllables",
+        _P(("cat $IN | tr -d '[:punct:]' | tr -cs A-Za-z '\\n' | tr A-Z a-z | "
+            "sort | uniq", "sw.txt"),
+           ("cat sw.txt | tr -sc '[AEIOUaeiou\\012]' ' ' | awk '{print NF}'",
+            "sc.txt"),
+           "cat sc.txt | sort | uniq -c | sort -rn"),
+        _text_fs, expected_stages=(5, 2, 3)),
+]
+
+# ---------------------------------------------------------------------------
+# unix50 (34 scripts, 160 stages)
+
+UNIX50 = [
+    BenchmarkScript("unix50", "1.sh", "1.0: extract last name",
+                    _P("cat $IN | cut -d ' ' -f 2"),
+                    _people_fs, expected_stages=(1,)),
+    BenchmarkScript("unix50", "2.sh", "1.1: extract names and sort",
+                    _P("cat $IN | cut -d ' ' -f 2 | sort"),
+                    _people_fs, expected_stages=(2,)),
+    BenchmarkScript("unix50", "3.sh", "1.2: extract names and sort",
+                    _P("cat $IN | head -n 2 | cut -d ' ' -f 2"),
+                    _people_fs, expected_stages=(2,)),
+    BenchmarkScript("unix50", "4.sh", "1.3: sort top first names",
+                    _P("cat $IN | cut -d ' ' -f 1 | sort | uniq -c | sort -rn"),
+                    _people_fs, expected_stages=(4,)),
+    BenchmarkScript("unix50", "5.sh", "2.1: all Unix utilities",
+                    _P("cat $IN | cut -d ' ' -f 4 | tr -d ','"),
+                    _readme_fs, expected_stages=(2,)),
+    BenchmarkScript("unix50", "6.sh", "3.1: first letter of last names",
+                    _P("cat $IN | cut -d ' ' -f 2 | cut -c 1-1 | sort | uniq"),
+                    _people_fs, expected_stages=(4,)),
+    BenchmarkScript("unix50", "7.sh", "4.1: number of rounds",
+                    _P("cat $IN | cut -d '.' -f 1 | sort -u | wc -l"),
+                    _chess_fs, expected_stages=(3,)),
+    BenchmarkScript("unix50", "8.sh", "4.2: pieces captured",
+                    _P("cat $IN | tr ' ' '\\n' | grep 'x' | grep '[KQRBN]' | "
+                       "wc -l"),
+                    _chess_fs, expected_stages=(4,)),
+    BenchmarkScript("unix50", "9.sh", "4.3: pieces captured with pawn",
+                    _P("cat $IN | tr ' ' '\\n' | grep 'x' | "
+                       "grep -v '[KQRBN]' | grep '\\.' | cut -d '.' -f 2 | "
+                       "wc -l"),
+                    _chess_fs, expected_stages=(6,)),
+    BenchmarkScript("unix50", "10.sh", "4.4: histogram by piece",
+                    _P("cat $IN | tr ' ' '\\n' | grep 'x' | grep '\\.' | "
+                       "cut -d '.' -f 2 | grep '[KQRBN]' | cut -c 1-1 | "
+                       "sort | uniq -c | sort -rn"),
+                    _chess_fs, expected_stages=(9,)),
+    BenchmarkScript("unix50", "11.sh", "4.5: histogram by piece and pawn",
+                    _P("cat $IN | tr ' ' '\\n' | grep 'x' | grep '\\.' | "
+                       "cut -d '.' -f 2 | tr '[a-z]' 'P' | cut -c 1-1 | "
+                       "sort | uniq -c | sort -rn"),
+                    _chess_fs, expected_stages=(9,)),
+    BenchmarkScript("unix50", "12.sh", "4.6: piece used most",
+                    _P("cat $IN | tr ' ' '\\n' | grep '\\.' | "
+                       "cut -d '.' -f 2 | cut -c 1-1 | sort | uniq -c | "
+                       "sort -rn | head -n 3 | tail -n 1"),
+                    _chess_fs, expected_stages=(9,)),
+    BenchmarkScript("unix50", "13.sh", "5.1: extract hellow world",
+                    _P("cat $IN | grep 'print' | cut -d '\"' -f 2 | "
+                       "cut -c 1-12"),
+                    _code_fs, expected_stages=(3,)),
+    BenchmarkScript("unix50", "14.sh", "6.1: order bodies",
+                    _P("cat $IN | awk '{print \\$2, \\$0}' | sort -n | "
+                       "cut -d ' ' -f 2"),
+                    _planets_fs, expected_stages=(3,)),
+    BenchmarkScript("unix50", "15.sh", "7.1: number of versions",
+                    _P("cat $IN | cut -f 1 | grep 'AT&T' | wc -l"),
+                    _history_fs, expected_stages=(3,)),
+    BenchmarkScript("unix50", "16.sh", "7.2: most frequent machine",
+                    _P("cat $IN | cut -f 2 | sort | uniq -c | sort -rn | "
+                       "head -n 1 | tr -s ' ' '\\n' | tail -n 1"),
+                    _history_fs, expected_stages=(7,)),
+    BenchmarkScript("unix50", "17.sh", "7.3: decades unix released",
+                    _P("cat $IN | cut -f 4 | cut -c 3-3 | sort | uniq | "
+                       "sed s/\\$/0s/"),
+                    _history_fs, expected_stages=(5,)),
+    BenchmarkScript("unix50", "18.sh", "8.1: count unix birth-year",
+                    _P("cat $IN | cut -f 4 | grep 1969 | wc -l"),
+                    _history_fs, expected_stages=(3,)),
+    BenchmarkScript("unix50", "19.sh", "8.2: location office",
+                    _P("cat $IN | grep 'Bell' | awk 'length <= 45' | "
+                       "cut -d '(' -f 2 | awk '{\\$1=\\$1};1'"),
+                    _history_fs, expected_stages=(4,)),
+    BenchmarkScript("unix50", "20.sh", "8.3: four most involved",
+                    _P("cat $IN | grep '(' | cut -d '(' -f 2 | "
+                       "cut -d ')' -f 1 | sort -u"),
+                    _history_fs, expected_stages=(4,)),
+    BenchmarkScript("unix50", "21.sh", "8.4: longest words w/o hyphens",
+                    _P("cat $IN | tr -c '[a-z][A-Z]' '\\n' | sort -u | "
+                       "awk 'length >= 16'"),
+                    _text_fs, expected_stages=(3,)),
+    BenchmarkScript("unix50", "23.sh", "9.1: extract word PORT",
+                    _P("cat $IN | tr ' ' '\\n' | grep '[A-Z]' | "
+                       "tr '[a-z]' '\\n' | tr -d '\\n' | cut -c 1-4 | sort"),
+                    _text_fs, expected_stages=(6,)),
+    BenchmarkScript("unix50", "24.sh", "9.2: extract word BELL",
+                    _P("cat $IN | grep '[A-Z]' | cut -c 1-2"),
+                    _text_fs, expected_stages=(2,)),
+    BenchmarkScript("unix50", "25.sh", "9.3: animal decorate",
+                    _P("cat $IN | cut -c 1-2 | uniq"),
+                    _text_fs, expected_stages=(2,)),
+    BenchmarkScript("unix50", "26.sh", "9.4: four corners",
+                    _P("cat $IN | grep '\"' | cut -d '\"' -f 2 | "
+                       "cut -c 1-1 | sort | uniq"),
+                    _code_fs, expected_stages=(5,)),
+    BenchmarkScript("unix50", "28.sh", "9.6: follow directions",
+                    _P("cat $IN | sed 1d | cut -c 1-2 | sort | uniq | "
+                       "tr -c '[A-Z]' '\\n' | sort | uniq -c | sort -rn | "
+                       "head -n 1 | tail -n 1"),
+                    _text_fs, expected_stages=(10,)),
+    BenchmarkScript("unix50", "29.sh", "9.7: four corners",
+                    _P("cat $IN | sed 1d | grep '\"' | cut -c 1-1 | sed 2d"),
+                    _code_fs, expected_stages=(4,)),
+    BenchmarkScript("unix50", "30.sh", "9.8: TELE-communications",
+                    _P("cat $IN | tr -c '[a-z][A-Z]' '\\n' | sed 1d | "
+                       "grep '[A-Z]' | sort | uniq -c | sort -rn | sed 2d | "
+                       "cut -d ' ' -f 2"),
+                    _text_fs, expected_stages=(8,)),
+    BenchmarkScript("unix50", "31.sh", "9.9",
+                    _P("cat $IN | tr ' ' '\\n' | sed 1d | sed 2d | "
+                       "grep '[A-Z]' | sort | uniq | rev | sed 3d | sort -u"),
+                    _text_fs, expected_stages=(9,)),
+    BenchmarkScript("unix50", "32.sh", "10.1: count recipients",
+                    _P("cat $IN | cut -d ' ' -f 2 | sort | uniq | wc -l"),
+                    _emails_fs, expected_stages=(4,)),
+    BenchmarkScript("unix50", "33.sh", "10.2: list recipients",
+                    _P("cat $IN | cut -d ' ' -f 2 | sort -u | sed 1d"),
+                    _emails_fs, expected_stages=(3,)),
+    BenchmarkScript("unix50", "34.sh", "10.3: extract username",
+                    _P("cat $IN | cut -d ' ' -f 2 | cut -d '@' -f 1 | "
+                       "fmt -w1 | sort | uniq | tr '[A-Z]' '[a-z]' | sort -u"),
+                    _emails_fs, expected_stages=(7,)),
+    BenchmarkScript("unix50", "35.sh", "11.1: year received medal",
+                    _P("cat $IN | grep 'UNIX' | cut -f 4"),
+                    _history_fs, expected_stages=(2,)),
+    BenchmarkScript("unix50", "36.sh", "11.2: most repeated first name",
+                    _P("cat $IN | cut -d ' ' -f 1 | sort | uniq -c | "
+                       "sort -rn | head -n 1 | tr -s ' ' '\\n' | tail -n 1 | "
+                       "tr '[A-Z]' '[a-z]'"),
+                    _people_fs, expected_stages=(8,)),
+]
+
+ALL_SCRIPTS: List[BenchmarkScript] = ANALYTICS + ONELINERS + POETS + UNIX50
+
+SUITES = {
+    "analytics-mts": ANALYTICS,
+    "oneliners": ONELINERS,
+    "poets": POETS,
+    "unix50": UNIX50,
+}
+
+
+def get_script(suite: str, name: str) -> BenchmarkScript:
+    for s in SUITES[suite]:
+        if s.name == name:
+            return s
+    raise KeyError(f"{suite}/{name}")
+
+
+def total_expected_stages() -> int:
+    return sum(s.total_stages for s in ALL_SCRIPTS)

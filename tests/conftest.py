@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.synthesis import SynthesisConfig
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> SynthesisConfig:
+    """Small-but-sufficient synthesis knobs for unit tests."""
+    return SynthesisConfig(max_rounds=6, patience=2, gradient_steps=2,
+                           pairs_per_shape=2, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SynthesisConfig:
+    """Minimal knobs for tests that only care about plumbing."""
+    return SynthesisConfig(max_size=5, max_rounds=3, patience=1,
+                           gradient_steps=1, pairs_per_shape=2, seed=99)

@@ -1,0 +1,83 @@
+"""AST node and size-metric tests (Definition 3.6, Example 2)."""
+
+from repro.core.dsl import (
+    Add,
+    Back,
+    Combiner,
+    Concat,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Rerun,
+    Second,
+    Stitch,
+    Stitch2,
+    is_recop,
+    is_runop,
+    is_structop,
+)
+
+
+class TestSizes:
+    def test_paper_example_2(self):
+        # |g_a| = 3, |g_fbfa| = 6, |g_saf| = 5
+        assert Combiner(Add()).size() == 3
+        assert Combiner(Front("\n", Back("\t", Fuse(" ", Add())))).size() == 6
+        assert Combiner(Stitch2(" ", Add(), First())).size() == 5
+
+    def test_base_ops(self):
+        for op in (Add(), Concat(), First(), Second(), Rerun(), Merge()):
+            assert Combiner(op).size() == 3
+
+    def test_wrappers_add_one(self):
+        assert Combiner(Front("\n", Concat())).size() == 4
+        assert Combiner(Stitch(First())).size() == 4
+        assert Combiner(Offset(" ", Add())).size() == 4
+
+
+class TestClasses:
+    def test_recop(self):
+        assert is_recop(Combiner(Back("\n", Add())))
+        assert not is_recop(Combiner(Stitch(First())))
+
+    def test_structop(self):
+        assert is_structop(Combiner(Stitch2(" ", Add(), First())))
+        assert not is_structop(Combiner(Concat()))
+
+    def test_runop(self):
+        assert is_runop(Combiner(Rerun()))
+        assert is_runop(Combiner(Merge("-rn")))
+        assert not is_runop(Combiner(Add()))
+
+
+class TestPretty:
+    def test_base(self):
+        assert Combiner(Concat()).pretty() == "(concat a b)"
+
+    def test_swapped(self):
+        assert Combiner(Second(), swapped=True).pretty() == "(second b a)"
+
+    def test_nested(self):
+        assert Combiner(Back("\n", Add())).pretty() == "(back '\\n' add a b)"
+
+    def test_stitch2(self):
+        c = Combiner(Stitch2(" ", Add(), First()))
+        assert c.pretty() == "(stitch2 ' ' add first a b)"
+
+    def test_merge_with_flags(self):
+        assert Combiner(Merge("-rn")).pretty() == "(merge('-rn') a b)"
+
+
+class TestHashability:
+    def test_equal_combiners_hash_equal(self):
+        a = Combiner(Back("\n", Add()))
+        b = Combiner(Back("\n", Add()))
+        assert a == b and hash(a) == hash(b)
+
+    def test_swap_distinguishes(self):
+        assert Combiner(First()) != Combiner(First(), swapped=True)
+
+    def test_delim_distinguishes(self):
+        assert Front("\n", Add()) != Front(" ", Add())

@@ -1,0 +1,67 @@
+"""Search-space enumeration tests — must match the paper's Table 10."""
+
+from repro.core.dsl import (
+    all_candidates,
+    rec_ops,
+    run_ops,
+    search_space_counts,
+    struct_ops,
+)
+
+
+class TestPaperSearchSpaceSizes:
+    """Appendix Table 10 reports 2700 / 26404 / 110444 candidates for
+    delimiter sets of cardinality 1 / 2 / 3."""
+
+    def test_one_delim(self):
+        assert search_space_counts(("\n",)) == (968, 1728, 4)
+
+    def test_two_delims(self):
+        assert search_space_counts(("\n", " ")) == (12440, 13960, 4)
+
+    def test_three_delims(self):
+        assert search_space_counts(("\n", " ", "\t")) == (59048, 51392, 4)
+
+    def test_totals(self):
+        for delims, total in ((("\n",), 2700), (("\n", " "), 26404),
+                              (("\n", " ", "\t"), 110444)):
+            rec, struct, run = search_space_counts(delims)
+            assert rec + struct + run == total
+
+
+class TestEnumeration:
+    def test_all_candidates_matches_counts(self):
+        delims = ("\n", " ")
+        cands = all_candidates(delims)
+        assert len(cands) == sum(search_space_counts(delims))
+
+    def test_sizes_bounded(self):
+        for c in all_candidates(("\n",), max_size=5):
+            assert c.size() <= 5
+
+    def test_both_argument_orders_present(self):
+        cands = all_candidates(("\n",), max_size=3)
+        swapped = [c for c in cands if c.swapped]
+        assert len(swapped) == len(cands) // 2
+
+    def test_no_duplicates(self):
+        cands = all_candidates(("\n", " "), max_size=5)
+        assert len(set(cands)) == len(cands)
+
+    def test_run_ops_carry_merge_flags(self):
+        ops = run_ops("-rn")
+        assert any(getattr(op, "flags", None) == "-rn" for op in ops)
+
+    def test_smaller_size_is_prefix(self):
+        small = set(all_candidates(("\n",), max_size=4))
+        large = set(all_candidates(("\n",), max_size=6))
+        assert small <= large
+
+    def test_struct_ops_within_budget(self):
+        for op in struct_ops(("\n", " "), max_size=7):
+            assert op.productions() <= 5
+
+    def test_rec_ops_count_formula(self):
+        # 4 * sum_{i=0}^{3} (3*|D|)^i for max_size 6
+        n = len(rec_ops(("\n", " "), max_size=6))
+        assert n == 4 * sum(6 ** i for i in range(4))

@@ -1,0 +1,89 @@
+"""Legal-domain tests (Definition B.1)."""
+
+from repro.core.dsl import (
+    Add,
+    Back,
+    Concat,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Rerun,
+    Second,
+    Stitch,
+    Stitch2,
+    in_domain,
+)
+
+
+class TestBaseDomains:
+    def test_add_digits_only(self):
+        assert in_domain(Add(), "042")
+        assert not in_domain(Add(), "")
+        assert not in_domain(Add(), "4 2")
+        assert not in_domain(Add(), "-3")
+
+    def test_total_domains(self):
+        for op in (Concat(), First(), Second()):
+            for s in ("", "anything\n", "x"):
+                assert in_domain(op, s)
+
+
+class TestWrapperDomains:
+    def test_front(self):
+        assert in_domain(Front("\n", Concat()), "\nabc")
+        assert not in_domain(Front("\n", Concat()), "abc")
+        assert not in_domain(Front(" ", Add()), " 4x")
+
+    def test_back(self):
+        assert in_domain(Back("\n", Add()), "42\n")
+        assert not in_domain(Back("\n", Add()), "42")
+        assert not in_domain(Back("\n", Add()), "4x\n")
+
+    def test_fuse(self):
+        assert in_domain(Fuse(" ", Add()), "1 2 3")
+        assert not in_domain(Fuse(" ", Add()), "123")       # no delimiter
+        assert not in_domain(Fuse(" ", Add()), " 1 2")      # empty first piece
+        assert not in_domain(Fuse(" ", Add()), "1 x")       # piece not digits
+
+    def test_fuse_trailing_newline(self):
+        # single-line streams are fuse-'\n' legal for total child ops
+        assert in_domain(Fuse("\n", First()), "x\n")
+        assert not in_domain(Fuse("\n", Add()), "5\n")      # empty last piece
+
+
+class TestStructDomains:
+    def test_stitch(self):
+        assert in_domain(Stitch(First()), "a\nb\n")
+        assert in_domain(Stitch(First()), "\n")
+        assert not in_domain(Stitch(First()), "a\nb")       # not a stream
+        assert not in_domain(Stitch(Add()), "a\n")          # line not digits
+
+    def test_stitch2_table(self):
+        assert in_domain(Stitch2(" ", Add(), First()), "      1 a\n")
+        assert in_domain(Stitch2(" ", Add(), First()), "1 a\n2 b\n")
+        assert not in_domain(Stitch2(" ", Add(), First()), "abc\n")
+        assert not in_domain(Stitch2(" ", Add(), First()), "x 1\n")
+        assert in_domain(Stitch2(" ", Add(), First()), "\n")
+
+    def test_offset_allows_nil_lines(self):
+        assert in_domain(Offset(" ", Add()), "1 a\n\n2 b\n")
+        assert not in_domain(Offset(" ", Add()), "x a\n")
+
+
+class TestRunDomains:
+    def test_rerun_accepts_streams(self):
+        assert in_domain(Rerun(), "a\n")
+        assert in_domain(Rerun(), "")
+        assert not in_domain(Rerun(), "a")
+
+    def test_merge_requires_sorted(self):
+        assert in_domain(Merge(""), "a\nb\n")
+        assert not in_domain(Merge(""), "b\na\n")
+
+    def test_merge_respects_flags(self):
+        assert in_domain(Merge("-rn"), "9\n5\n1\n")
+        assert not in_domain(Merge("-rn"), "1\n9\n")
+        assert in_domain(Merge("-n"), "2\n10\n")
+        assert not in_domain(Merge(""), "2\n10\n")

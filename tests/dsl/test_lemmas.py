@@ -1,0 +1,85 @@
+"""Property-based instances of the appendix-B lemmas."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dsl import (
+    Add,
+    Back,
+    Concat,
+    EvalError,
+    First,
+    Front,
+    Fuse,
+    Second,
+    evaluate,
+    EvalEnv,
+    in_domain,
+)
+
+ENV = EvalEnv()
+
+texts = st.text(alphabet=string.ascii_lowercase + "0123456789 ,",
+                min_size=0, max_size=14)
+small_recops = st.sampled_from([
+    Add(), Concat(), First(), Second(),
+    Front(" ", Concat()), Back(" ", Concat()),
+    Front(",", First()), Back(",", Second()),
+    Fuse(",", Concat()),
+])
+delims = st.sampled_from(["\n", "\t", " ", ","])
+
+
+@given(small_recops, texts, texts, delims)
+def test_lemma_b1_recop_preserves_delimiter_absence(op, y1, y2, d):
+    """Lemma B.1: if d ∉ y1 and d ∉ y2 then d ∉ (op y1 y2)."""
+    if d in y1 or d in y2:
+        return
+    if not (in_domain(op, y1) and in_domain(op, y2)):
+        return
+    try:
+        v = evaluate(op, y1, y2, ENV)
+    except EvalError:
+        return
+    assert d not in v
+
+
+@given(small_recops, texts, texts, delims)
+def test_lemma_b4_delim_count_subadditive(op, y1, y2, d):
+    """Lemma B.4: C(d, op(y1,y2)) <= C(d, y1) + C(d, y2)."""
+    if not (in_domain(op, y1) and in_domain(op, y2)):
+        return
+    try:
+        v = evaluate(op, y1, y2, ENV)
+    except EvalError:
+        return
+    assert v.count(d) <= y1.count(d) + y2.count(d)
+
+
+@given(texts, texts, delims)
+def test_lemma_b3_fuse_preserves_delim_count(y1, y2, d):
+    """Lemma B.3: fuse preserves the delimiter count of its operands."""
+    op = Fuse(d, Concat())
+    if not (in_domain(op, y1) and in_domain(op, y2)):
+        return
+    try:
+        v = evaluate(op, y1, y2, ENV)
+    except EvalError:
+        return  # piece-count mismatch between the operands
+    assert v.count(d) == y1.count(d) == y2.count(d)
+
+
+@given(small_recops, texts, texts, texts)
+def test_lemma_b2_no_recop_inserts_material(op, y1, y2, z):
+    """Lemma B.2: op(y1,y2) != y1 ++ z ++ y2 for nonempty z."""
+    if not z:
+        return
+    if not (in_domain(op, y1) and in_domain(op, y2)):
+        return
+    try:
+        v = evaluate(op, y1, y2, ENV)
+    except EvalError:
+        return
+    assert v != y1 + z + y2

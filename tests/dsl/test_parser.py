@@ -1,0 +1,63 @@
+"""Combiner-expression parser tests (round trip with pretty printing)."""
+
+import pytest
+
+from repro.core.dsl import (
+    Back,
+    Combiner,
+    CombinerParseError,
+    Concat,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Rerun,
+    Second,
+    Stitch,
+    Stitch2,
+    all_candidates,
+    parse_combiner,
+)
+from repro.core.dsl.ast import Add
+
+
+CASES = [
+    Combiner(Concat()),
+    Combiner(Add(), swapped=True),
+    Combiner(Rerun()),
+    Combiner(Merge("")),
+    Combiner(Merge("-rn")),
+    Combiner(Back("\n", Add())),
+    Combiner(Front(",", Concat()), swapped=True),
+    Combiner(Fuse(" ", First())),
+    Combiner(Stitch(Second())),
+    Combiner(Stitch2(" ", Add(), First())),
+    Combiner(Stitch2("\t", First(), Second()), swapped=True),
+    Combiner(Offset(" ", Add())),
+    Combiner(Front("\n", Back("\t", Fuse(" ", Add())))),
+]
+
+
+@pytest.mark.parametrize("combiner", CASES, ids=lambda c: c.pretty())
+def test_round_trip(combiner):
+    assert parse_combiner(combiner.pretty()) == combiner
+
+
+def test_round_trip_entire_small_pool():
+    for combiner in all_candidates(("\n", " "), max_size=5):
+        assert parse_combiner(combiner.pretty()) == combiner
+
+
+def test_bare_names():
+    assert parse_combiner("concat") == Combiner(Concat())
+    assert parse_combiner("rerun b a") == Combiner(Rerun(), swapped=True)
+
+
+@pytest.mark.parametrize("bad", [
+    "", "(frobnicate a b)", "(back add a b)", "(stitch2 ' ' add a b",
+    "(concat a b) extra",
+])
+def test_rejects_garbage(bad):
+    with pytest.raises(CombinerParseError):
+        parse_combiner(bad)

@@ -1,0 +1,127 @@
+"""Property-based tests of DSL invariants (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl import (
+    Add,
+    Back,
+    Combiner,
+    Concat,
+    EvalEnv,
+    EvalError,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Second,
+    Stitch,
+    apply_combiner,
+    evaluate,
+    in_domain,
+)
+
+ENV = EvalEnv()
+
+lines = st.text(alphabet=string.ascii_lowercase + "0123456789 ",
+                min_size=0, max_size=12)
+streams = st.lists(lines, min_size=1, max_size=6).map(
+    lambda ls: "".join(l + "\n" for l in ls))
+digits = st.integers(min_value=0, max_value=10**9).map(str)
+
+
+@given(streams, streams)
+def test_concat_always_defined_on_streams(y1, y2):
+    assert in_domain(Concat(), y1) and in_domain(Concat(), y2)
+    assert evaluate(Concat(), y1, y2, ENV) == y1 + y2
+
+
+@given(digits, digits)
+def test_add_matches_integer_addition(a, b):
+    assert evaluate(Add(), a, b, ENV) == str(int(a) + int(b))
+
+
+@given(digits, digits)
+def test_add_commutative(a, b):
+    assert evaluate(Add(), a, b, ENV) == evaluate(Add(), b, a, ENV)
+
+
+@given(streams, streams)
+def test_back_add_equivalent_to_add_on_stripped(y1, y2):
+    op = Back("\n", Add())
+    if in_domain(op, y1) and in_domain(op, y2):
+        out = evaluate(op, y1, y2, ENV)
+        assert out == str(int(y1[:-1]) + int(y2[:-1])) + "\n"
+
+
+@given(streams, streams)
+def test_swapped_first_is_second(y1, y2):
+    a = apply_combiner(Combiner(First(), swapped=True), y1, y2, ENV)
+    b = apply_combiner(Combiner(Second()), y1, y2, ENV)
+    assert a == b
+
+
+@given(streams, streams)
+def test_stitch_output_is_stream(y1, y2):
+    op = Stitch(First())
+    if in_domain(op, y1) and in_domain(op, y2):
+        out = evaluate(op, y1, y2, ENV)
+        assert out.endswith("\n")
+
+
+@given(streams, streams)
+def test_stitch_first_line_count(y1, y2):
+    """stitch merges exactly one boundary line pair or none."""
+    op = Stitch(First())
+    if in_domain(op, y1) and in_domain(op, y2):
+        out = evaluate(op, y1, y2, ENV)
+        n1, n2, n = y1.count("\n"), y2.count("\n"), out.count("\n")
+        assert n in (n1 + n2, n1 + n2 - 1)
+
+
+@given(st.lists(st.lists(lines, min_size=1, max_size=5).map(
+    lambda ls: "".join(sorted(l + "\n" for l in ls))), min_size=2, max_size=4))
+def test_merge_of_sorted_streams_is_sorted(sorted_streams):
+    from repro.unixsim import merge_streams
+
+    out = merge_streams("", sorted_streams)
+    out_lines = out.splitlines()
+    assert out_lines == sorted(out_lines)
+    assert sum(len(s.splitlines()) for s in sorted_streams) == len(out_lines)
+
+
+@given(streams, streams)
+def test_merge_legality_matches_sortedness(y1, y2):
+    op = Merge("")
+    legal = in_domain(op, y1)
+    assert legal == (y1.splitlines() == sorted(y1.splitlines()))
+
+
+@given(st.text(alphabet="ab ", min_size=1, max_size=10),
+       st.text(alphabet="ab ", min_size=1, max_size=10))
+def test_fuse_preserves_delimiter_count(p1, p2):
+    op = Fuse(" ", Concat())
+    if in_domain(op, p1) and in_domain(op, p2):
+        try:
+            out = evaluate(op, p1, p2, ENV)
+        except EvalError:
+            return  # piece-count mismatch
+        assert out.count(" ") == p1.count(" ") == p2.count(" ")
+
+
+@given(streams, streams)
+@settings(max_examples=50)
+def test_front_round_trip(y1, y2):
+    op = Front("\n", Concat())
+    a, b = "\n" + y1, "\n" + y2
+    assert in_domain(op, a) and in_domain(op, b)
+    assert evaluate(op, a, b, ENV) == "\n" + y1 + y2
+
+
+@given(streams)
+def test_evaluation_deterministic(y):
+    op = Stitch(First())
+    if in_domain(op, y):
+        assert evaluate(op, y, y, ENV) == evaluate(op, y, y, ENV)

@@ -1,0 +1,150 @@
+"""Big-step evaluation tests (paper Figure 6)."""
+
+import pytest
+
+from repro.core.dsl import (
+    Add,
+    Back,
+    Combiner,
+    Concat,
+    EvalEnv,
+    EvalError,
+    First,
+    Front,
+    Fuse,
+    Merge,
+    Offset,
+    Rerun,
+    Second,
+    Stitch,
+    Stitch2,
+    apply_combiner,
+    evaluate,
+)
+
+ENV = EvalEnv()
+
+
+class TestBaseOps:
+    def test_add(self):
+        assert evaluate(Add(), "3", "4", ENV) == "7"
+
+    def test_add_strips_leading_zeros(self):
+        assert evaluate(Add(), "007", "003", ENV) == "10"
+
+    def test_add_rejects_non_digits(self):
+        with pytest.raises(EvalError):
+            evaluate(Add(), "3a", "4", ENV)
+
+    def test_concat(self):
+        assert evaluate(Concat(), "a\n", "b\n", ENV) == "a\nb\n"
+
+    def test_first_second(self):
+        assert evaluate(First(), "x", "y", ENV) == "x"
+        assert evaluate(Second(), "x", "y", ENV) == "y"
+
+
+class TestDelimiterWrappers:
+    def test_back_add(self):
+        assert evaluate(Back("\n", Add()), "3\n", "4\n", ENV) == "7\n"
+
+    def test_back_requires_delimiter(self):
+        with pytest.raises(EvalError):
+            evaluate(Back("\n", Add()), "3", "4\n", ENV)
+
+    def test_front_concat(self):
+        assert evaluate(Front(",", Concat()), ",a", ",b", ENV) == ",ab"
+
+    def test_fuse_add_piecewise(self):
+        assert evaluate(Fuse(" ", Add()), "1 2 3", "10 10 10", ENV) == \
+            "11 12 13"
+
+    def test_fuse_count_mismatch(self):
+        with pytest.raises(EvalError):
+            evaluate(Fuse(" ", Add()), "1 2", "1 2 3", ENV)
+
+    def test_fuse_requires_delimiter(self):
+        with pytest.raises(EvalError):
+            evaluate(Fuse(" ", Add()), "1", "2", ENV)
+
+    def test_fuse_newline_on_single_line_streams(self):
+        # trailing newline yields an empty final piece; first selects y1
+        assert evaluate(Fuse("\n", First()), "x\n", "y\n", ENV) == "x\n"
+
+
+class TestStitch:
+    def test_boundary_lines_equal(self):
+        out = evaluate(Stitch(First()), "a\nb\n", "b\nc\n", ENV)
+        assert out == "a\nb\nc\n"
+
+    def test_boundary_lines_differ_concatenates(self):
+        out = evaluate(Stitch(First()), "a\nb\n", "c\nd\n", ENV)
+        assert out == "a\nb\nc\nd\n"
+
+    def test_single_line_operands(self):
+        assert evaluate(Stitch(First()), "a\n", "a\nb\n", ENV) == "a\nb\n"
+
+    def test_newline_operand_concatenates(self):
+        assert evaluate(Stitch(First()), "\n", "a\n", ENV) == "\na\n"
+
+
+class TestStitch2:
+    def test_uniq_c_merge(self):
+        # GNU uniq -c padding must be preserved and recomputed
+        y1 = "      1 a\n      2 b\n"
+        y2 = "      3 b\n      1 c\n"
+        out = evaluate(Stitch2(" ", Add(), First()), y1, y2, ENV)
+        assert out == "      1 a\n      5 b\n      1 c\n"
+
+    def test_different_tails_concatenate(self):
+        y1 = "      1 a\n"
+        y2 = "      1 b\n"
+        out = evaluate(Stitch2(" ", Add(), First()), y1, y2, ENV)
+        assert out == y1 + y2
+
+    def test_unpadded_table(self):
+        out = evaluate(Stitch2(" ", Add(), First()), "2 x\n", "3 x\n", ENV)
+        assert out == "5 x\n"
+
+    def test_missing_delimiter_fails(self):
+        with pytest.raises(EvalError):
+            evaluate(Stitch2(" ", Add(), First()), "abc\n", "abc\n", ENV)
+
+
+class TestOffset:
+    def test_offsets_following_lines(self):
+        out = evaluate(Offset(" ", Add()), "3 f1\n", "2 f2\n5 f3\n", ENV)
+        assert out == "3 f1\n5 f2\n8 f3\n"
+
+    def test_first_keeps_reference(self):
+        out = evaluate(Offset(" ", First()), "3 f1\n", "2 f2\n", ENV)
+        assert out == "3 f1\n3 f2\n"
+
+    def test_empty_lines_pass_through(self):
+        out = evaluate(Offset(" ", Add()), "1 a\n", "\n2 b\n", ENV)
+        assert out == "1 a\n\n3 b\n"
+
+
+class TestRunOps:
+    def test_rerun_invokes_command(self):
+        env = EvalEnv(run_command=lambda s: s.upper())
+        assert evaluate(Rerun(), "ab\n", "cd\n", env) == "AB\nCD\n"
+
+    def test_rerun_without_command_fails(self):
+        with pytest.raises(EvalError):
+            evaluate(Rerun(), "a\n", "b\n", ENV)
+
+    def test_merge(self):
+        assert evaluate(Merge(""), "a\nc\n", "b\n", ENV) == "a\nb\nc\n"
+
+    def test_merge_flags(self):
+        assert evaluate(Merge("-rn"), "9\n1\n", "5\n", ENV) == "9\n5\n1\n"
+
+
+class TestApplyCombiner:
+    def test_swap(self):
+        c = Combiner(First(), swapped=True)
+        assert apply_combiner(c, "x", "y", ENV) == "y"
+
+    def test_no_swap(self):
+        assert apply_combiner(Combiner(First()), "x", "y", ENV) == "x"

@@ -1,0 +1,111 @@
+"""Evaluation-harness smoke tests (small scale)."""
+
+import pytest
+
+from repro.core.synthesis import SynthesisConfig
+from repro.evaluation import (
+    account_all,
+    classify_combiner,
+    measure_all,
+    paper_data,
+    render_table,
+    summarize,
+    sweep_commands,
+    table1,
+    table3,
+    table4,
+    table8,
+    table9,
+    table10,
+)
+from repro.workloads import SUITES, get_script
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SynthesisConfig(max_rounds=5, patience=2, gradient_steps=2,
+                           pairs_per_shape=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def small_scripts():
+    return [get_script("oneliners", "wf.sh"),
+            get_script("oneliners", "sort.sh"),
+            get_script("unix50", "4.sh")]
+
+
+@pytest.fixture(scope="module")
+def small_sweep(small_scripts, small_config):
+    return sweep_commands(small_scripts, config=small_config, scale=30)
+
+
+class TestSweep:
+    def test_unique_commands_deduplicated(self, small_sweep):
+        # wf.sh: 5 unique; sort.sh adds 0; 4.sh adds only cut
+        assert len(small_sweep) == 6
+
+    def test_summary(self, small_sweep):
+        s = summarize(small_sweep)
+        assert s.total_commands == 6
+        assert s.synthesized == 6
+        assert s.median_time > 0
+
+    def test_classification(self, small_sweep):
+        buckets = {classify_combiner(r) for r in small_sweep.values()}
+        assert "concat" in buckets
+        assert "merge" in buckets
+        assert "stitch2" in buckets
+
+
+class TestTableRendering:
+    def test_render_table_alignment(self):
+        out = render_table(("A", "Longer"), [("x", 1), ("yy", 22)], "T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[2:]}) == 1  # aligned rows
+
+    def test_table8(self, small_sweep):
+        out = table8(small_sweep)
+        assert "concat" in out
+
+    def test_table9(self, small_sweep):
+        assert "Table 9" in table9(small_sweep)
+
+    def test_table10_contains_search_space(self, small_sweep):
+        out = table10(small_sweep)
+        assert "2700" in out or "26404" in out
+
+
+class TestStageAccounting:
+    def test_table3_totals(self, small_scripts, small_config):
+        accounts = account_all(small_scripts, scale=30, config=small_config)
+        out = table3(accounts)
+        assert "Total" in out
+        total_n = sum(a.parallelized_total[1] for a in accounts)
+        assert total_n == 5 + 1 + 4
+
+
+class TestPerformance:
+    def test_measure_and_render(self, small_scripts, small_config):
+        perfs = measure_all(ks=(1, 2), scripts=small_scripts[:2],
+                            scale=120, config=small_config)
+        assert len(perfs) == 2
+        for p in perfs:
+            assert p.u1 > 0
+            assert p.unoptimized[2] > 0
+        for render in (table1, table4):
+            assert "Table" in render(perfs, k=2)
+
+
+class TestPaperData:
+    def test_totals_match_table3(self):
+        from repro.workloads import total_expected_stages
+
+        assert paper_data.TOTAL_STAGES == total_expected_stages()
+
+    def test_suites_complete(self):
+        assert sum(len(v) for v in SUITES.values()) == 70
+
+    def test_table1_refers_to_real_scripts(self):
+        for suite, name, *_ in paper_data.TABLE1:
+            assert get_script(suite, name) is not None

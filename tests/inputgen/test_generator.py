@@ -1,0 +1,76 @@
+"""Input stream-pair generation tests (Definition 3.12)."""
+
+import random
+
+from repro.core.inputgen import SEED_SHAPE, Config, Shape, build_profile, generate_pair
+from repro.shell import Command
+from repro.unixsim import ExecContext
+
+
+def make_profile(argv=("sort",), ctx=None, seed=0):
+    return build_profile(Command(list(argv), context=ctx or ExecContext()),
+                         random.Random(seed))
+
+
+class TestGeneratePair:
+    def test_both_parts_are_streams(self):
+        profile = make_profile()
+        rng = random.Random(1)
+        for _ in range(50):
+            x1, x2 = generate_pair(SEED_SHAPE, profile, rng)
+            assert x1.endswith("\n") and x2.endswith("\n")
+            assert x1 and x2
+
+    def test_line_counts_within_shape(self):
+        shape = Shape(Config(4, 6, 1.0), Config(1, 1, 1.0), Config(2, 3, 1.0))
+        profile = make_profile()
+        rng = random.Random(2)
+        for _ in range(30):
+            x1, x2 = generate_pair(shape, profile, rng)
+            n = (x1 + x2).count("\n")
+            assert 4 <= n <= 6
+
+    def test_low_distinct_produces_duplicates(self):
+        shape = Shape(Config(8, 12, 0.1), Config(1, 1, 0.3), Config(2, 3, 0.3))
+        profile = make_profile()
+        rng = random.Random(3)
+        dup_runs = 0
+        for _ in range(30):
+            lines = (lambda s: s[:-1].split("\n"))(
+                "".join(generate_pair(shape, profile, rng)))
+            if any(a == b for a, b in zip(lines, lines[1:])):
+                dup_runs += 1
+        assert dup_runs > 15  # duplicates are the uniq counterexamples
+
+    def test_sorted_mode_distinct_and_sorted(self):
+        ctx = ExecContext(fs={"d": "alpha\nbeta\n"})
+        profile = make_profile(("comm", "-23", "-", "d"), ctx)
+        rng = random.Random(4)
+        for _ in range(30):
+            x1, x2 = generate_pair(SEED_SHAPE, profile, rng)
+            lines = (x1 + x2)[:-1].split("\n")
+            assert lines == sorted(lines)
+            assert len(lines) == len(set(lines))
+
+    def test_filename_mode_emits_existing_files(self):
+        profile = make_profile(("xargs", "cat"))
+        rng = random.Random(5)
+        fs = profile.command.context.fs
+        x1, x2 = generate_pair(SEED_SHAPE, profile, rng)
+        for name in (x1 + x2).split():
+            assert name in fs
+
+    def test_dictionary_words_appear(self):
+        profile = make_profile(("grep", "lighthouse"))
+        rng = random.Random(6)
+        seen = ""
+        for _ in range(20):
+            x1, x2 = generate_pair(SEED_SHAPE, profile, rng)
+            seen += x1 + x2
+        assert "lighthouse" in seen
+
+    def test_deterministic_for_seed(self):
+        profile = make_profile()
+        a = generate_pair(SEED_SHAPE, profile, random.Random(7))
+        b = generate_pair(SEED_SHAPE, profile, random.Random(7))
+        assert a == b

@@ -1,0 +1,61 @@
+"""Shape-gradient input generation tests (Algorithm 2)."""
+
+import random
+
+from repro.core.dsl import Combiner, Concat, EvalEnv, all_candidates
+from repro.core.dsl.ast import Back, Add
+from repro.core.inputgen import SEED_SHAPE, build_profile
+from repro.core.inputgen.gradient import get_effective_inputs
+from repro.core.synthesis import filter_candidates, plausible
+from repro.shell import Command
+
+
+def test_observations_are_valid_triples():
+    rng = random.Random(1)
+    cmd = Command(["sort"])
+    profile = build_profile(cmd, rng)
+    env = EvalEnv(run_command=profile.run)
+    cands = all_candidates(profile.delims, max_size=5)
+    obs = get_effective_inputs(profile, cands, SEED_SHAPE, rng, env,
+                               steps=2, pairs_per_shape=2)
+    assert obs
+    for y1, y2, y12 in obs:
+        # every observation is f(x1), f(x2), f(x1 ++ x2) for some pair;
+        # for sort, the combined output must contain both parts' lines
+        assert sorted((y1 + y2).splitlines()) == y12.splitlines()
+
+
+def test_gradient_eliminates_concat_for_wc():
+    rng = random.Random(2)
+    cmd = Command(["wc", "-l"])
+    profile = build_profile(cmd, rng)
+    env = EvalEnv(run_command=profile.run)
+    cands = all_candidates(profile.delims, max_size=5)
+    obs = get_effective_inputs(profile, cands, SEED_SHAPE, rng, env,
+                               steps=2, pairs_per_shape=2)
+    survivors = filter_candidates(cands, obs, env)
+    assert Combiner(Concat()) not in survivors
+    assert Combiner(Back("\n", Add())) in survivors
+
+
+def test_gradient_collects_all_mutation_batches():
+    """Algorithm 2 returns the union of all generated observations,
+    not just the winning mutation's."""
+    rng = random.Random(3)
+    cmd = Command(["cat"])
+    profile = build_profile(cmd, rng)
+    env = EvalEnv(run_command=profile.run)
+    obs = get_effective_inputs(profile, [Combiner(Concat())], SEED_SHAPE,
+                               rng, env, steps=2, pairs_per_shape=2)
+    # 2 steps x 12 mutations x 2 pairs (minus any command failures)
+    assert len(obs) > 24
+
+
+def test_concat_survives_for_identity_command():
+    rng = random.Random(4)
+    cmd = Command(["cat"])
+    profile = build_profile(cmd, rng)
+    env = EvalEnv(run_command=profile.run)
+    obs = get_effective_inputs(profile, [Combiner(Concat())], SEED_SHAPE,
+                               rng, env, steps=1, pairs_per_shape=2)
+    assert plausible(Combiner(Concat()), obs, env)

@@ -1,0 +1,99 @@
+"""Command-preprocessing tests: probes, modes, delimiters, literals."""
+
+import random
+
+import pytest
+
+from repro.core.inputgen import FILENAMES, PLAIN, SORTED, build_profile
+from repro.shell import Command
+from repro.unixsim import ExecContext
+
+
+def profile_of(argv, ctx=None, seed=0):
+    return build_profile(Command(argv, context=ctx or ExecContext()),
+                         random.Random(seed))
+
+
+class TestInputModes:
+    def test_plain_for_ordinary_commands(self):
+        assert profile_of(["sort"]).input_mode == PLAIN
+        assert profile_of(["tr", "A-Z", "a-z"]).input_mode == PLAIN
+
+    def test_sorted_for_comm(self):
+        ctx = ExecContext(fs={"d": "alpha\nbeta\n"})
+        assert profile_of(["comm", "-23", "-", "d"], ctx).input_mode == SORTED
+
+    def test_filenames_for_xargs(self):
+        assert profile_of(["xargs", "cat"]).input_mode == FILENAMES
+        assert profile_of(["xargs", "file"]).input_mode == FILENAMES
+
+    def test_broken_when_all_probes_fail(self):
+        ctx = ExecContext()  # no such file anywhere
+        p = profile_of(["comm", "-23", "-", "missing.txt"], ctx)
+        assert p.broken
+
+
+class TestDelimiterDetection:
+    """The detected delimiter set fixes the Table 10 search-space size."""
+
+    def test_digit_output_single_delim(self):
+        p = profile_of(["wc", "-l"])
+        assert p.delims == ("\n",)
+
+    def test_table_output_two_delims(self):
+        p = profile_of(["uniq", "-c"])
+        assert p.delims == ("\n", " ")
+
+    def test_ofs_tab_three_delims(self):
+        p = profile_of(["awk", "-v", "OFS=\\t", "{print $2,$1}"])
+        assert "\t" in p.delims
+
+    def test_comma_via_cut_args(self):
+        p = profile_of(["cut", "-d", ",", "-f", "1,3"])
+        assert "," in p.delims
+
+
+class TestLiterals:
+    def test_sed_quit_line_hint(self):
+        assert profile_of(["sed", "100q"]).line_hint == 100
+
+    def test_head_line_hint(self):
+        assert profile_of(["head", "-n", "3"]).line_hint == 3
+
+    def test_grep_dictionary(self):
+        p = profile_of(["grep", "light.light"])
+        assert any("light" in w for w in p.dictionary)
+
+    def test_tr_set_tokens(self):
+        p = profile_of(["tr", "-sc", "AEIOU", "[\\012*]"])
+        assert any(set(w) & set("AEIOU") for w in p.dictionary)
+
+    def test_sort_merge_flags(self):
+        assert profile_of(["sort", "-rn"]).merge_flags == "-rn"
+        assert profile_of(["sort"]).merge_flags == ""
+        assert profile_of(["sort", "--parallel=1", "-n"]).merge_flags == "-n"
+
+
+class TestProfileExecution:
+    def test_observe_produces_triple(self):
+        p = profile_of(["sort"])
+        obs = p.observe(("b\n", "a\n"))
+        assert obs == ("b\n", "a\n", "a\nb\n")
+
+    def test_observe_failure_returns_none(self):
+        ctx = ExecContext(fs={"d": "a\nb\n"})
+        p = profile_of(["comm", "-23", "-", "d"], ctx)
+        assert p.observe(("z\na\n", "b\n")) is None
+        assert p.failures == 1
+
+    def test_run_memoized(self):
+        p = profile_of(["sort"])
+        base = p.command.executions
+        p.run("x\n")
+        p.run("x\n")
+        assert p.command.executions == base + 1
+
+    def test_reduction_ratio(self):
+        p = profile_of(["wc", "-l"])
+        p.observe(("aaaa\nbbbb\n", "cccc\n"))
+        assert p.reduction_ratio() < 0.5

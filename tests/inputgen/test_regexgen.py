@@ -1,0 +1,59 @@
+"""Regex example-generation tests (preprocessing dictionaries)."""
+
+import random
+import re
+
+import pytest
+
+from repro.core.inputgen import examples_for_pattern, literal_tokens
+from repro.unixsim.bre import bre_to_python
+
+PATTERNS = [
+    "light.light",
+    "light.*light",
+    "^....$",
+    "^[A-Z]",
+    "^[^aeiou]*[aeiou][^aeiou]*$",
+    "[KQRBN]",
+    "1969",
+    "shell script",
+    "AT&T",
+    r"\(.\).*\1\(.\).*\2\(.\).*\3\(.\).*\4",
+    r"\.",
+    "Bell",
+]
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_examples_match_their_pattern(pattern):
+    rng = random.Random(42)
+    examples = examples_for_pattern(pattern, rng, count=6)
+    assert examples, f"no examples generated for {pattern!r}"
+    compiled = re.compile(bre_to_python(pattern))
+    for ex in examples:
+        assert compiled.search(ex), f"{ex!r} does not match {pattern!r}"
+
+
+def test_examples_are_distinct():
+    rng = random.Random(1)
+    examples = examples_for_pattern("[a-z][a-z][a-z]", rng, count=8)
+    assert len(examples) == len(set(examples))
+
+
+def test_deterministic_for_seed():
+    a = examples_for_pattern("x.y", random.Random(9))
+    b = examples_for_pattern("x.y", random.Random(9))
+    assert a == b
+
+
+class TestLiteralTokens:
+    def test_extracts_runs(self):
+        assert "light" in literal_tokens("light.*light")
+        assert "1969" in literal_tokens("1969")
+
+    def test_skips_single_chars(self):
+        assert literal_tokens("a.b") == []
+
+    def test_escaped_chars_break_runs(self):
+        tokens = literal_tokens(r"foo\.bar")
+        assert "foo" in tokens and "bar" in tokens

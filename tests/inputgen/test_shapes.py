@@ -1,0 +1,82 @@
+"""Input-shape and mutation tests (Definition 3.11, Algorithm 2)."""
+
+import random
+
+import pytest
+
+from repro.core.inputgen import Config, N_MUTATIONS, SEED_SHAPE, Shape, random_shape
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Config(0, 5, 0.5)
+        with pytest.raises(ValueError):
+            Config(5, 2, 0.5)
+        with pytest.raises(ValueError):
+            Config(1, 2, 0.0)
+        with pytest.raises(ValueError):
+            Config(1, 2, 1.5)
+
+    def test_grow_shrink_inverse_bounds(self):
+        c = Config(4, 8, 0.5)
+        assert c.grown().shrunk() == c
+
+    def test_shrink_floors_at_one(self):
+        c = Config(1, 1, 0.5)
+        assert c.shrunk() == c
+
+    def test_variety_clamps(self):
+        c = Config(1, 2, 0.9)
+        assert c.more_varied().distinct == 1.0
+        low = Config(1, 2, 0.08)
+        assert low.less_varied().distinct == pytest.approx(0.05)
+
+
+class TestMutations:
+    def test_twelve_mutations(self):
+        muts = SEED_SHAPE.all_mutations()
+        assert len(muts) == N_MUTATIONS
+        assert len(set(muts)) == N_MUTATIONS  # all distinct
+
+    def test_mutation_touches_one_dimension(self):
+        for j in range(N_MUTATIONS):
+            m = SEED_SHAPE.mutate(j)
+            changed = sum(getattr(m, f) != getattr(SEED_SHAPE, f)
+                          for f in ("lines", "words", "chars"))
+            assert changed == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SEED_SHAPE.mutate(12)
+
+    def test_directions(self):
+        grown = SEED_SHAPE.mutate(0)       # lines, more elements
+        assert grown.lines.hi > SEED_SHAPE.lines.hi
+        shrunk = SEED_SHAPE.mutate(1)      # lines, fewer elements
+        assert shrunk.lines.hi < SEED_SHAPE.lines.hi
+        varied = SEED_SHAPE.mutate(2)      # lines, more varied
+        assert varied.lines.distinct > SEED_SHAPE.lines.distinct
+        uniform = SEED_SHAPE.mutate(3)     # lines, less varied
+        assert uniform.lines.distinct < SEED_SHAPE.lines.distinct
+
+
+class TestRandomShape:
+    def test_deterministic_for_seed(self):
+        assert random_shape(random.Random(7)) == random_shape(random.Random(7))
+
+    def test_line_hint_straddled(self):
+        rng = random.Random(0)
+        hits = 0
+        for _ in range(50):
+            s = random_shape(rng, line_hint=100)
+            if s.lines.lo <= 100 <= s.lines.hi:
+                hits += 1
+        assert hits > 25  # most shapes straddle the extracted constant
+
+    def test_valid_configs(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            s = random_shape(rng)
+            assert s.lines.lo <= s.lines.hi
+            assert 0 < s.chars.distinct <= 1

@@ -1,0 +1,61 @@
+"""k-way combiner application tests (section 3.5)."""
+
+from repro.core.dsl import Back, Combiner, Concat, EvalEnv, Merge, Rerun, Stitch2
+from repro.core.dsl.ast import Add, First
+from repro.core.synthesis import CompositeCombiner
+from repro.parallel import KWayCombiner
+
+ENV = EvalEnv()
+
+
+def kway(*combiners):
+    return KWayCombiner(CompositeCombiner(list(combiners)))
+
+
+class TestFastPaths:
+    def test_concat_is_cat_star(self):
+        kw = kway(Combiner(Concat()))
+        assert kw.is_concat()
+        assert kw.combine(["a\n", "b\n", "c\n"], ENV) == "a\nb\nc\n"
+
+    def test_merge_is_sort_m_star(self):
+        kw = kway(Combiner(Merge("")))
+        assert kw.is_merge()
+        assert kw.combine(["a\nd\n", "b\n", "c\ne\n"], ENV) == \
+            "a\nb\nc\nd\ne\n"
+
+    def test_rerun_concatenates_then_runs_once(self):
+        calls = []
+
+        def run(s):
+            calls.append(s)
+            return s.upper()
+
+        kw = kway(Combiner(Rerun()))
+        env = EvalEnv(run_command=run)
+        assert kw.combine(["a\n", "b\n", "c\n"], env) == "A\nB\nC\n"
+        assert calls == ["a\nb\nc\n"]  # exactly one rerun
+
+    def test_merge_preferred_over_rerun(self):
+        kw = kway(Combiner(Rerun()), Combiner(Merge("-n")))
+        assert kw.is_merge() and not kw.is_rerun()
+
+
+class TestPairwiseFold:
+    def test_back_add_folds(self):
+        kw = kway(Combiner(Back("\n", Add())))
+        assert kw.combine(["1\n", "2\n", "3\n", "4\n"], ENV) == "10\n"
+
+    def test_stitch2_folds_in_order(self):
+        kw = kway(Combiner(Stitch2(" ", Add(), First())))
+        parts = ["      1 a\n      1 b\n", "      2 b\n", "      1 b\n      1 c\n"]
+        assert kw.combine(parts, ENV) == \
+            "      1 a\n      4 b\n      1 c\n"
+
+
+class TestEdgeCases:
+    def test_empty_list(self):
+        assert kway(Combiner(Concat())).combine([], ENV) == ""
+
+    def test_single_stream_identity(self):
+        assert kway(Combiner(Rerun())).combine(["x\n"], ENV) == "x\n"

@@ -1,0 +1,85 @@
+"""Parallel-pipeline execution tests: correctness across k and engines."""
+
+import pytest
+
+from repro import parallelize
+from repro.parallel import PROCESSES, SERIAL, THREADS
+from repro.shell import Pipeline
+from repro.unixsim import ExecContext
+
+TEXT = ("the quick Brown fox\nthe lazy dog THE\n" * 40 +
+        "And he said light\n" * 10)
+WF = "cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn"
+
+
+def serial_output(pipeline_text, files, env=None):
+    ctx = ExecContext(fs=dict(files), env=dict(env or {}))
+    return Pipeline.from_string(pipeline_text, env=env, context=ctx).run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 16])
+    def test_wf_pipeline_all_k(self, k, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=k, files=files, config=fast_config)
+        assert pp.run() == serial_output(WF, files)
+
+    def test_unoptimized_matches_too(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, optimize=False,
+                         config=fast_config)
+        assert pp.run() == serial_output(WF, files)
+
+    def test_unsupported_stage_runs_sequentially(self, fast_config):
+        text = "cat in.txt | sort | sed 1d | uniq"
+        files = {"in.txt": "b\na\nb\n"}
+        pp = parallelize(text, k=4, files=files, config=fast_config)
+        assert pp.run() == serial_output(text, files)
+        assert pp.plan.stages[1].mode == "sequential"
+
+    def test_selection_combining(self, fast_config):
+        text = "cat in.txt | sort | tail -n 1"
+        files = {"in.txt": "b\nz\na\n"}
+        pp = parallelize(text, k=3, files=files, config=fast_config)
+        assert pp.run() == "z\n"
+
+    def test_counting_pipeline(self, fast_config):
+        text = "cat in.txt | grep -c the"
+        files = {"in.txt": TEXT}
+        pp = parallelize(text, k=4, files=files, config=fast_config)
+        assert pp.run() == serial_output(text, files)
+
+    def test_explicit_data_argument(self, fast_config):
+        pp = parallelize("sort | uniq", k=2, config=fast_config)
+        assert pp.run("b\na\nb\nb\n") == "a\nb\n"
+
+
+class TestEngines:
+    @pytest.mark.parametrize("engine", [SERIAL, THREADS, PROCESSES])
+    def test_engines_agree(self, engine, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, engine=engine,
+                         config=fast_config)
+        assert pp.run() == serial_output(WF, files)
+
+    def test_processes_with_filesystem_commands(self, fast_config):
+        files = {"list.txt": "f1\nf2\n", "f1": "b\na\n", "f2": "c\n"}
+        text = "cat list.txt | xargs cat | sort"
+        pp = parallelize(text, k=2, files=files, engine=PROCESSES,
+                         config=fast_config)
+        assert pp.run() == "a\nb\nc\n"
+
+
+class TestStats:
+    def test_stage_stats_recorded(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, config=fast_config)
+        pp.run()
+        stats = pp.last_stats
+        assert stats is not None and stats.k == 4
+        assert len(stats.stages) == 5
+        assert stats.seconds > 0
+
+    def test_invalid_k(self, fast_config):
+        with pytest.raises(ValueError):
+            parallelize("sort", k=0, config=fast_config)

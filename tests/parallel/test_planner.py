@@ -1,0 +1,85 @@
+"""Pipeline-compilation tests: stage modes and Theorem 5 elimination."""
+
+from repro.parallel import compile_pipeline, plan_stage, synthesize_pipeline
+from repro.shell import Command, Pipeline
+from repro.unixsim import ExecContext
+
+
+def compile_text(text, files=None, env=None, config=None, sample=None):
+    ctx = ExecContext(fs=dict(files or {}), env=dict(env or {}))
+    p = Pipeline.from_string(text, env=env, context=ctx)
+    results = synthesize_pipeline(p, config=config)
+    return compile_pipeline(p, results, sample_input=sample)
+
+
+class TestPlanStage:
+    def test_failed_synthesis_is_sequential(self):
+        assert plan_stage(Command(["sort"]), None).mode == "sequential"
+
+    def test_no_combiner_is_sequential(self, fast_config):
+        from repro.core.synthesis import synthesize
+
+        cmd = Command(["sed", "1d"])
+        r = synthesize(cmd, fast_config)
+        assert plan_stage(cmd, r).mode == "sequential"
+
+    def test_rerun_with_low_reduction_is_sequential(self, fast_config):
+        from repro.core.synthesis import synthesize
+
+        cmd = Command(["tr", "-cs", "A-Za-z", "\\n"])
+        r = synthesize(cmd, fast_config)
+        plan = plan_stage(cmd, r, reduction_ratio=0.95)
+        assert plan.mode == "sequential"
+
+    def test_rerun_with_high_reduction_is_parallel(self, fast_config):
+        from repro.core.synthesis import synthesize
+
+        cmd = Command(["sed", "100q"])
+        r = synthesize(cmd, fast_config)
+        plan = plan_stage(cmd, r, reduction_ratio=0.05)
+        assert plan.mode == "parallel"
+
+
+class TestEliminationOptimization:
+    def test_wf_pipeline_plan(self, fast_config):
+        """The paper's section 2 example: one sequential stage, a
+        concat combiner eliminated before the parallel sort."""
+        text = ("cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | "
+                "uniq -c | sort -rn")
+        sample = "Hello world hello\nthe quick fox the\n" * 50
+        plan = compile_text(text, files={"in.txt": sample},
+                            config=fast_config)
+        modes = [s.mode for s in plan.stages]
+        assert modes == ["sequential", "parallel", "parallel", "parallel",
+                         "parallel"]
+        assert plan.stages[1].eliminated          # tr A-Z a-z -> sort
+        assert not plan.stages[4].eliminated      # final combiner kept
+        assert plan.parallelized == 4
+        assert plan.eliminated == 1
+
+    def test_concat_before_sequential_not_eliminated(self, fast_config):
+        text = "cat in.txt | tr A-Z a-z | sed 1d"
+        plan = compile_text(text, files={"in.txt": "A\nB\n"},
+                            config=fast_config)
+        assert not plan.stages[0].eliminated
+
+    def test_non_stream_output_not_eliminated(self, fast_config):
+        # tr -d '\n' violates the Theorem 5 precondition
+        text = "cat in.txt | tr -d '\\n' | cut -c 1-4"
+        plan = compile_text(text, files={"in.txt": "ab\ncd\n"},
+                            config=fast_config)
+        assert plan.stages[0].mode == "parallel"
+        assert not plan.stages[0].eliminated
+
+    def test_unoptimized_never_eliminates(self, fast_config):
+        ctx = ExecContext(fs={"in.txt": "A\nb\n"})
+        p = Pipeline.from_string("cat in.txt | tr A-Z a-z | sort",
+                                 context=ctx)
+        results = synthesize_pipeline(p, config=fast_config)
+        plan = compile_pipeline(p, results, optimize=False)
+        assert plan.eliminated == 0
+
+    def test_describe_lists_all_stages(self, fast_config):
+        plan = compile_text("cat in.txt | sort | uniq",
+                            files={"in.txt": "b\na\n"}, config=fast_config)
+        assert len(plan.describe()) == 2

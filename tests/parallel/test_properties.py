@@ -1,0 +1,91 @@
+"""Property-based tests of the parallel runtime invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl import Combiner, Concat, EvalEnv, Merge
+from repro.core.synthesis import CompositeCombiner
+from repro.parallel import KWayCombiner, split_stream
+from repro.unixsim import build
+
+lines = st.text(alphabet=string.ascii_lowercase + " 0123456789",
+                min_size=0, max_size=10)
+streams = st.lists(lines, min_size=0, max_size=40).map(
+    lambda ls: "".join(l + "\n" for l in ls))
+ks = st.integers(min_value=1, max_value=16)
+
+ENV = EvalEnv()
+
+
+@given(streams, ks)
+def test_split_concat_round_trip(data, k):
+    assert "".join(split_stream(data, k)) == data
+
+
+@given(streams, ks)
+def test_split_pieces_bounded(data, k):
+    assert len(split_stream(data, k)) <= max(1, k)
+
+
+@given(streams, ks)
+@settings(max_examples=60)
+def test_map_concat_equals_serial_for_line_local_commands(data, k):
+    """For any line-local command f with concat combiner:
+    concat(map(f, split(x))) == f(x)."""
+    cmd = build(["tr", "a-z", "A-Z"])
+    chunks = split_stream(data, k)
+    parallel = "".join(cmd.run(c) for c in chunks)
+    assert parallel == cmd.run(data)
+
+
+@given(streams, ks)
+@settings(max_examples=60)
+def test_sort_merge_equals_serial(data, k):
+    """merge(map(sort, split(x))) == sort(x) — the sort stage law."""
+    cmd = build(["sort"])
+    chunks = split_stream(data, k)
+    kw = KWayCombiner(CompositeCombiner([Combiner(Merge(""))]))
+    parallel = kw.combine([cmd.run(c) for c in chunks], ENV)
+    assert parallel == cmd.run(data)
+
+
+@given(streams, ks)
+@settings(max_examples=60)
+def test_grep_concat_equals_serial(data, k):
+    cmd = build(["grep", "[aeiou]"])
+    chunks = split_stream(data, k)
+    kw = KWayCombiner(CompositeCombiner([Combiner(Concat())]))
+    parallel = kw.combine([cmd.run(c) for c in chunks], ENV)
+    assert parallel == cmd.run(data)
+
+
+@given(streams, ks)
+@settings(max_examples=60)
+def test_uniq_c_stitch2_equals_serial(data, k):
+    """stitch2-fold over uniq -c outputs equals serial uniq -c."""
+    from repro.core.dsl import Stitch2
+    from repro.core.dsl.ast import Add, First
+
+    cmd = build(["uniq", "-c"])
+    chunks = [c for c in split_stream(data, k) if c]
+    if not chunks:
+        return
+    kw = KWayCombiner(CompositeCombiner(
+        [Combiner(Stitch2(" ", Add(), First()))]))
+    parallel = kw.combine([cmd.run(c) for c in chunks], ENV)
+    assert parallel == cmd.run(data)
+
+
+@given(streams, ks)
+@settings(max_examples=40)
+def test_wc_l_fold_equals_serial(data, k):
+    from repro.core.dsl import Back
+    from repro.core.dsl.ast import Add
+
+    cmd = build(["wc", "-l"])
+    chunks = split_stream(data, k)
+    kw = KWayCombiner(CompositeCombiner([Combiner(Back("\n", Add()))]))
+    parallel = kw.combine([cmd.run(c) for c in chunks], ENV)
+    assert parallel == cmd.run(data)

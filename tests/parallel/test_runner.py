@@ -1,0 +1,47 @@
+"""StageRunner engine tests."""
+
+import pytest
+
+from repro.parallel import PROCESSES, SERIAL, StageRunner, THREADS
+from repro.shell import Command
+from repro.unixsim import ExecContext
+
+CHUNKS = ["b\na\n", "d\nc\n", "f\ne\n"]
+
+
+@pytest.mark.parametrize("engine", [SERIAL, THREADS, PROCESSES])
+def test_outputs_in_order(engine):
+    with StageRunner(engine=engine, max_workers=3) as runner:
+        outs = runner.run_stage(Command(["sort"]), CHUNKS)
+    assert outs == ["a\nb\n", "c\nd\n", "e\nf\n"]
+
+
+def test_single_chunk_short_circuits():
+    runner = StageRunner(engine=PROCESSES, max_workers=4)
+    outs = runner.run_stage(Command(["sort"]), ["b\na\n"])
+    assert outs == ["a\nb\n"]
+    assert runner._pool is None  # no pool was spun up
+    runner.close()
+
+
+def test_process_workers_see_virtual_fs():
+    ctx = ExecContext(fs={"f1": "y\nx\n", "f2": "z\n"})
+    cmd = Command(["xargs", "cat"], context=ctx)
+    with StageRunner(engine=PROCESSES, max_workers=2, context=ctx) as runner:
+        outs = runner.run_stage(cmd, ["f1\n", "f2\n"])
+    assert outs == ["y\nx\n", "z\n"]
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        StageRunner(engine="gpu")
+
+
+def test_pool_reused_across_stages():
+    runner = StageRunner(engine=THREADS, max_workers=2)
+    runner.run_stage(Command(["sort"]), CHUNKS)
+    pool1 = runner._pool
+    runner.run_stage(Command(["uniq"]), CHUNKS)
+    assert runner._pool is pool1
+    runner.close()
+    assert runner._pool is None

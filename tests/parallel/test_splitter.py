@@ -1,0 +1,47 @@
+"""Stream-splitter tests."""
+
+import pytest
+
+from repro.parallel import split_stream
+
+
+class TestSplitStream:
+    def test_round_trip(self):
+        data = "".join(f"line {i}\n" for i in range(100))
+        for k in (1, 2, 3, 7, 16):
+            assert "".join(split_stream(data, k)) == data
+
+    def test_pieces_are_line_aligned(self):
+        data = "".join(f"line {i}\n" for i in range(50))
+        for piece in split_stream(data, 8)[:-1]:
+            assert piece.endswith("\n")
+
+    def test_k1_identity(self):
+        assert split_stream("a\nb\n", 1) == ["a\nb\n"]
+
+    def test_empty(self):
+        assert split_stream("", 4) == [""]
+
+    def test_fewer_lines_than_k(self):
+        pieces = split_stream("a\nb\n", 10)
+        assert "".join(pieces) == "a\nb\n"
+        assert len(pieces) <= 10
+
+    def test_at_most_k_pieces(self):
+        data = "x\n" * 1000
+        for k in (2, 4, 16):
+            assert len(split_stream(data, k)) <= k
+
+    def test_balanced(self):
+        data = "x\n" * 1024
+        pieces = split_stream(data, 4)
+        sizes = [len(p) for p in pieces]
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_no_trailing_newline_tail(self):
+        pieces = split_stream("a\nb\nc", 2)
+        assert "".join(pieces) == "a\nb\nc"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            split_stream("a\n", 0)

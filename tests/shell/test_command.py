@@ -1,0 +1,70 @@
+"""Black-box Command tests (sim and subprocess backends)."""
+
+import shutil
+
+import pytest
+
+from repro.shell import Command, CommandError
+from repro.unixsim import ExecContext
+
+
+class TestSimBackend:
+    def test_run(self):
+        cmd = Command(["tr", "A-Z", "a-z"])
+        assert cmd.run("AbC\n") == "abc\n"
+
+    def test_execution_counter(self):
+        cmd = Command(["sort"])
+        cmd.run("b\na\n")
+        cmd.run("c\n")
+        assert cmd.executions == 2
+
+    def test_context_filesystem(self):
+        ctx = ExecContext(fs={"d": "b\n"})
+        cmd = Command(["comm", "-23", "-", "d"], context=ctx)
+        assert cmd.run("a\nb\nc\n") == "a\nc\n"
+
+    def test_key_identity(self):
+        assert Command(["sort", "-n"]).key() == ("sort", "-n")
+        assert Command(["sort", "-n"]).key() != Command(["sort"]).key()
+
+    def test_from_string(self):
+        cmd = Command.from_string("grep -c 'x y'")
+        assert cmd.argv == ["grep", "-c", "x y"]
+
+    def test_failure_raises_command_error(self):
+        ctx = ExecContext()
+        cmd = Command(["xargs", "cat"], context=ctx)
+        with pytest.raises(CommandError):
+            cmd.run("missing_file\n")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Command(["sort"], backend="quantum")
+
+    def test_display(self):
+        assert Command(["grep", "a b"]).display() == "grep 'a b'"
+
+
+@pytest.mark.skipif(shutil.which("sort") is None, reason="no real sort")
+class TestSubprocessBackend:
+    def test_real_sort(self):
+        cmd = Command(["sort"], backend="subprocess")
+        assert cmd.run("b\na\n") == "a\nb\n"
+
+    def test_matches_sim(self):
+        data = "b\nB\na\n10\n2\n"
+        sim = Command(["sort"]).run(data)
+        real = Command(["sort"], backend="subprocess").run(data)
+        assert sim == real
+
+    def test_filesystem_materialized(self):
+        ctx = ExecContext(fs={"dict.txt": "b\n"})
+        cmd = Command(["comm", "-23", "-", "dict.txt"],
+                      backend="subprocess", context=ctx)
+        assert cmd.run("a\nb\n") == "a\n"
+
+    def test_nonzero_exit_raises(self):
+        cmd = Command(["grep"], backend="subprocess")  # missing pattern
+        with pytest.raises(CommandError):
+            cmd.run("x\n")

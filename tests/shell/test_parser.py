@@ -1,0 +1,68 @@
+"""Pipeline-string parsing tests."""
+
+import pytest
+
+from repro.shell import ParseError, expand_variables, parse_pipeline, split_pipeline
+
+
+class TestSplitPipeline:
+    def test_basic(self):
+        assert split_pipeline("a | b | c") == ["a", "b", "c"]
+
+    def test_pipe_inside_quotes(self):
+        assert split_pipeline("grep 'a|b' | sort") == ["grep 'a|b'", "sort"]
+
+    def test_pipe_inside_double_quotes(self):
+        assert split_pipeline('awk "x|y"') == ['awk "x|y"']
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ParseError):
+            split_pipeline("grep 'oops | sort")
+
+
+class TestExpandVariables:
+    def test_simple(self):
+        assert expand_variables("cat $IN", {"IN": "f.txt"}) == "cat f.txt"
+
+    def test_braced_with_default(self):
+        assert expand_variables("${X:-fallback}", {}) == "fallback"
+        assert expand_variables("${X:-fallback}", {"X": "v"}) == "v"
+
+    def test_unknown_variable_left_intact(self):
+        # awk programs must survive: $1 is not an env var
+        assert expand_variables("awk '$1 >= 2'", {}) == "awk '$1 >= 2'"
+
+    def test_escaped_dollar(self):
+        assert expand_variables("sed s/\\$/x/", {}) == "sed s/$/x/"
+
+    def test_escaped_dollar_with_name(self):
+        assert expand_variables("awk '\\$1 == 2'", {"1": "nope"}) == \
+            "awk '$1 == 2'"
+
+
+class TestParseStage:
+    def test_quoting(self):
+        stages = parse_pipeline("tr -cs A-Za-z '\\n'", {})
+        assert stages[0].argv == ["tr", "-cs", "A-Za-z", "\\n"]
+
+    def test_env_prefix(self):
+        stages = parse_pipeline("LC_COLLATE=C comm -23 - d.txt", {})
+        assert stages[0].env == {"LC_COLLATE": "C"}
+        assert stages[0].argv[0] == "comm"
+
+    def test_variable_expansion_in_stage(self):
+        stages = parse_pipeline("cat $IN | sort", {"IN": "x.txt"})
+        assert stages[0].argv == ["cat", "x.txt"]
+        assert stages[1].argv == ["sort"]
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pipeline("sort | | uniq", {})
+
+    def test_double_quoted_program(self):
+        stages = parse_pipeline('awk "length >= 16"', {})
+        assert stages[0].argv == ["awk", "length >= 16"]
+
+    def test_display_round_trip(self):
+        stage = parse_pipeline("grep 'a b'", {})[0]
+        assert "a b" in stage.display()

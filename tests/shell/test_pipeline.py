@@ -1,0 +1,49 @@
+"""Serial pipeline model tests."""
+
+from repro.shell import Pipeline
+from repro.unixsim import ExecContext
+
+
+def test_initial_cat_becomes_input_source():
+    ctx = ExecContext(fs={"in.txt": "B\na\n"})
+    p = Pipeline.from_string("cat $IN | tr A-Z a-z | sort",
+                             env={"IN": "in.txt"}, context=ctx)
+    assert p.input_file == "in.txt"
+    assert p.num_stages == 2  # cat excluded per the paper's footnote 3
+    assert p.run() == "a\nb\n"
+
+
+def test_explicit_data_overrides_input_file():
+    ctx = ExecContext(fs={"in.txt": "zzz\n"})
+    p = Pipeline.from_string("cat in.txt | sort", context=ctx)
+    assert p.run("b\na\n") == "a\nb\n"
+
+
+def test_pipeline_without_cat():
+    p = Pipeline.from_string("sort | uniq -c")
+    assert p.num_stages == 2
+    assert p.run("a\na\n") == "      2 a\n"
+
+
+def test_bare_cat_is_a_stage():
+    # `cat` with no file argument is a real (identity) stage
+    p = Pipeline.from_string("cat | sort")
+    assert p.num_stages == 2
+
+
+def test_env_expansion_through_context():
+    ctx = ExecContext(fs={"f.txt": "x\n"}, env={"IN": "f.txt"})
+    p = Pipeline.from_string("cat $IN | sort", context=ctx)
+    assert p.run() == "x\n"
+
+
+def test_stage_displays():
+    p = Pipeline.from_string("cat x | sort -rn | uniq")
+    assert p.stage_displays() == ["sort -rn", "uniq"]
+
+
+def test_multi_stage_word_count():
+    p = Pipeline.from_string(
+        "tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn")
+    out = p.run("a B a\nb a\n")
+    assert out.splitlines()[0].strip() == "3 a"

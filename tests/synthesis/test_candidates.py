@@ -1,0 +1,75 @@
+"""Plausibility-filtering tests (Definitions 3.9/3.10)."""
+
+from repro.core.dsl import (
+    Add,
+    Back,
+    Combiner,
+    Concat,
+    EvalEnv,
+    First,
+    Merge,
+    Rerun,
+)
+from repro.core.synthesis import count_eliminated, filter_candidates, plausible
+
+ENV = EvalEnv()
+
+
+class TestPlausible:
+    def test_concat_on_concat_observations(self):
+        obs = [("a\n", "b\n", "a\nb\n")]
+        assert plausible(Combiner(Concat()), obs, ENV)
+
+    def test_concat_rejected_by_merging_command(self):
+        obs = [("2\n", "3\n", "5\n")]
+        assert not plausible(Combiner(Concat()), obs, ENV)
+        assert plausible(Combiner(Back("\n", Add())), obs, ENV)
+
+    def test_domain_violation_is_implausible(self):
+        obs = [("x\n", "y\n", "x\ny\n")]
+        assert not plausible(Combiner(Back("\n", Add())), obs, ENV)
+
+    def test_swapped_candidate(self):
+        obs = [("a\n", "b\n", "b\n")]  # command keeps the second stream
+        assert plausible(Combiner(First(), swapped=True), obs, ENV)
+        assert not plausible(Combiner(First()), obs, ENV)
+
+    def test_rerun_uses_env_command(self):
+        env = EvalEnv(run_command=lambda s: "".join(sorted(s.splitlines()[0])) + "\n"
+                      if s else s)
+        obs = [("ab\n", "cd\n", "abcd\n")]
+        # rerun: f("ab\ncd\n") -> sorted first line = "ab" -> mismatch
+        assert not plausible(Combiner(Rerun()), obs, env)
+
+    def test_merge_needs_sorted_operands(self):
+        obs = [("b\na\n", "c\n", "b\na\nc\n")]
+        assert not plausible(Combiner(Merge("")), obs, ENV)
+
+    def test_empty_observations_keep_everything(self):
+        cands = [Combiner(Concat()), Combiner(First())]
+        assert filter_candidates(cands, [], ENV) == cands
+
+
+class TestFiltering:
+    def test_filter_keeps_only_consistent(self):
+        cands = [Combiner(Concat()), Combiner(First()),
+                 Combiner(Back("\n", Add()))]
+        obs = [("a\n", "b\n", "a\nb\n")]
+        survivors = filter_candidates(cands, obs, ENV)
+        assert Combiner(Concat()) in survivors
+        assert Combiner(Back("\n", Add())) not in survivors
+        assert Combiner(First()) not in survivors
+
+    def test_count_eliminated(self):
+        cands = [Combiner(Concat()), Combiner(First())]
+        obs = [("a\n", "b\n", "a\nb\n")]
+        assert count_eliminated(cands, obs, ENV) == 1
+
+    def test_multiple_observations_intersect(self):
+        cands = [Combiner(Concat()), Combiner(First())]
+        obs1 = [("a\n", "a\n", "a\na\n")]   # both survive (first: a == a? no)
+        survivors = filter_candidates(cands, obs1, ENV)
+        assert Combiner(Concat()) in survivors
+        obs2 = [("a\n", "b\n", "a\nb\n")]
+        survivors = filter_candidates(survivors, obs2, ENV)
+        assert survivors == [Combiner(Concat())]

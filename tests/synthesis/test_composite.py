@@ -1,0 +1,78 @@
+"""Composite-combiner tests (section 3.2, Multiple Plausible Combiners)."""
+
+import pytest
+
+from repro.core.dsl import (
+    Back,
+    Combiner,
+    Concat,
+    EvalEnv,
+    EvalError,
+    First,
+    Merge,
+    Rerun,
+    Second,
+    Stitch,
+)
+from repro.core.dsl.ast import Add
+from repro.core.synthesis import CompositeCombiner, select_priority_class
+
+ENV = EvalEnv()
+
+
+class TestPriorityClass:
+    def test_recop_preferred(self):
+        survivors = [Combiner(Rerun()), Combiner(Concat()),
+                     Combiner(Stitch(First()))]
+        chosen = select_priority_class(survivors)
+        assert chosen == [Combiner(Concat())]
+
+    def test_structop_when_no_recop(self):
+        survivors = [Combiner(Rerun()), Combiner(Stitch(First()))]
+        assert select_priority_class(survivors) == [Combiner(Stitch(First()))]
+
+    def test_runop_last(self):
+        survivors = [Combiner(Rerun()), Combiner(Merge(""))]
+        assert set(select_priority_class(survivors)) == set(survivors)
+
+
+class TestComposite:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeCombiner([])
+
+    def test_domain_dispatch(self):
+        comp = CompositeCombiner([Combiner(Back("\n", Add())),
+                                  Combiner(Concat())])
+        # digits: both legal, smallest... back-add (size 4) vs concat (3):
+        # concat first by size; but both agree only on command outputs —
+        # here we just check dispatch picks a legal member
+        assert comp.apply("a\n", "b\n", ENV) == "a\nb\n"
+
+    def test_rerun_ordered_last(self):
+        comp = CompositeCombiner([Combiner(Rerun()), Combiner(Merge(""))])
+        assert comp.primary == Combiner(Merge(""))
+
+    def test_apply_merge_without_command(self):
+        comp = CompositeCombiner([Combiner(Merge("")), Combiner(Rerun())])
+        assert comp.apply("a\nc\n", "b\n", ENV) == "a\nb\nc\n"
+
+    def test_no_applicable_member_raises(self):
+        comp = CompositeCombiner([Combiner(Back("\n", Add()))])
+        with pytest.raises(EvalError):
+            comp.apply("xx\n", "yy\n", ENV)
+
+    def test_order_independence_on_command_outputs(self):
+        """The paper: composition order does not matter for streams the
+        command actually produces (here: head -n 1 style outputs)."""
+        members = [Combiner(First()), Combiner(Second(), swapped=True)]
+        outputs = ["a\n", "xyz\n", "1\n"]
+        for y1 in outputs:
+            for y2 in outputs:
+                a = CompositeCombiner(members).apply(y1, y2, ENV)
+                b = CompositeCombiner(members[::-1]).apply(y1, y2, ENV)
+                assert a == b
+
+    def test_pretty(self):
+        comp = CompositeCombiner([Combiner(Concat())])
+        assert comp.pretty() == "(concat a b)"

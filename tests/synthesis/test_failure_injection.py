@@ -1,0 +1,91 @@
+"""Synthesis robustness under command failures.
+
+Black-box commands can reject inputs (comm on unsorted streams, xargs
+on missing files) or fail intermittently; synthesis must skip failed
+observations and still converge — or report the command as broken when
+nothing works.
+"""
+
+import pytest
+
+from repro.core.synthesis import COMMAND_BROKEN, synthesize
+from repro.shell import Command
+from repro.unixsim.base import CommandError, SimCommand
+
+
+class FlakyUpper(SimCommand):
+    """Uppercases its input but fails on every Nth call."""
+
+    def __init__(self, every: int) -> None:
+        super().__init__()
+        self.every = every
+        self.calls = 0
+
+    def run(self, data, ctx=None):
+        self.calls += 1
+        if self.calls % self.every == 0:
+            raise CommandError("flaky: transient failure")
+        return data.upper()
+
+
+class AlwaysFails(SimCommand):
+    def run(self, data, ctx=None):
+        raise CommandError("broken beyond repair")
+
+
+def _command_with_sim(sim, argv):
+    cmd = Command(argv)
+    cmd._sim = sim
+    return cmd
+
+
+def test_flaky_command_still_synthesizes(fast_config):
+    cmd = _command_with_sim(FlakyUpper(every=7), ["tr", "a-z", "A-Z"])
+    result = synthesize(cmd, fast_config)
+    assert result.ok
+    assert "(concat a b)" in result.pretty_survivors()
+
+
+def test_very_flaky_command_still_synthesizes(fast_config):
+    cmd = _command_with_sim(FlakyUpper(every=3), ["tr", "a-z", "A-Z"])
+    result = synthesize(cmd, fast_config)
+    assert result.ok
+
+
+def test_always_failing_command_reported_broken(fast_config):
+    cmd = _command_with_sim(AlwaysFails(), ["sort"])
+    result = synthesize(cmd, fast_config)
+    assert result.status == COMMAND_BROKEN
+    assert not result.ok
+    assert result.combiner is None
+
+
+def test_broken_stage_in_pipeline_stays_sequential(fast_config):
+    from repro.parallel import compile_pipeline
+    from repro.shell import Pipeline
+    from repro.unixsim import ExecContext
+
+    ctx = ExecContext(fs={"in.txt": "b\na\n"})
+    pipeline = Pipeline.from_string("cat in.txt | sort | uniq", context=ctx)
+    broken_cmd = pipeline.commands[0]
+    broken = synthesize(_command_with_sim(AlwaysFails(), broken_cmd.argv),
+                        fast_config)
+    ok = synthesize(pipeline.commands[1], fast_config)
+    plan = compile_pipeline(pipeline, {
+        pipeline.commands[0].key(): broken,
+        pipeline.commands[1].key(): ok,
+    })
+    assert plan.stages[0].mode == "sequential"
+    assert plan.stages[1].mode == "parallel"
+
+
+def test_observation_failures_counted(fast_config):
+    from random import Random
+
+    from repro.core.inputgen import build_profile
+
+    cmd = _command_with_sim(FlakyUpper(every=2), ["tr", "a-z", "A-Z"])
+    profile = build_profile(cmd, Random(1))
+    for _ in range(6):
+        profile.observe(("a\n", "b\n" * 2))
+    assert profile.failures > 0

@@ -1,0 +1,64 @@
+"""Synthesis against *real* GNU binaries (subprocess backend).
+
+The strongest end-to-end validation available: the synthesizer only
+ever interacts with commands as black boxes, so pointing it at the
+actual coreutils must produce the same combiners as the simulator.
+Skipped wholesale on hosts without the binaries.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.dsl.ast import Back, Concat, Merge, Stitch2
+from repro.core.synthesis import SynthesisConfig, synthesize
+from repro.shell import Command
+
+pytestmark = pytest.mark.skipif(shutil.which("sort") is None,
+                                reason="GNU coreutils not installed")
+
+
+@pytest.fixture(scope="module")
+def real_config():
+    # fewer rounds: each probe is a real process spawn
+    return SynthesisConfig(max_rounds=3, patience=1, gradient_steps=1,
+                           pairs_per_shape=2, seed=77)
+
+
+def _synthesize_real(argv, config):
+    return synthesize(Command(argv, backend="subprocess"), config)
+
+
+def test_real_wc_l(real_config):
+    r = _synthesize_real(["wc", "-l"], real_config)
+    assert r.ok
+    assert r.combiner.primary.op == Back("\n", __import__(
+        "repro.core.dsl.ast", fromlist=["Add"]).Add())
+
+
+def test_real_tr_lowercase(real_config):
+    r = _synthesize_real(["tr", "A-Z", "a-z"], real_config)
+    assert r.ok
+    assert isinstance(r.combiner.primary.op, Concat)
+
+
+def test_real_sort_gets_merge(real_config):
+    r = _synthesize_real(["sort"], real_config)
+    assert r.ok
+    assert isinstance(r.combiner.primary.op, Merge)
+
+
+def test_real_uniq_c_gets_stitch2(real_config):
+    r = _synthesize_real(["uniq", "-c"], real_config)
+    assert r.ok
+    assert isinstance(r.combiner.primary.op, Stitch2)
+
+
+def test_real_and_simulated_agree(real_config):
+    for argv in (["grep", "-c", "a"], ["head", "-n", "2"]):
+        real = _synthesize_real(argv, real_config)
+        sim = synthesize(Command(argv), real_config)
+        assert real.ok == sim.ok
+        if real.ok:
+            assert type(real.combiner.primary.op) == \
+                type(sim.combiner.primary.op)

@@ -1,0 +1,82 @@
+"""Persistent combiner-store tests."""
+
+import pytest
+
+from repro.core.synthesis import (
+    CombinerStore,
+    result_from_dict,
+    result_to_dict,
+    synthesize,
+)
+from repro.shell import Command
+
+
+@pytest.fixture(scope="module")
+def sort_result(fast_config):
+    return synthesize(Command(["sort", "-rn"]), fast_config)
+
+
+class TestSerialization:
+    def test_round_trip_ok_result(self, sort_result):
+        restored = result_from_dict(result_to_dict(sort_result))
+        assert restored.ok
+        assert restored.command_display == sort_result.command_display
+        assert restored.survivors == sort_result.survivors
+        assert restored.combiner.primary == sort_result.combiner.primary
+        assert restored.search_space == sort_result.search_space
+        assert restored.reduction_ratio == sort_result.reduction_ratio
+
+    def test_round_trip_failed_result(self, fast_config):
+        result = synthesize(Command(["sed", "1d"]), fast_config)
+        restored = result_from_dict(result_to_dict(result))
+        assert not restored.ok
+        assert restored.status == result.status
+        assert restored.combiner is None
+
+
+class TestStore:
+    def test_save_load(self, tmp_path, sort_result):
+        path = tmp_path / "combiners.json"
+        store = CombinerStore(path)
+        store.put(("sort", "-rn"), sort_result)
+        store.save()
+
+        reloaded = CombinerStore(path)
+        assert len(reloaded) == 1
+        assert ("sort", "-rn") in reloaded
+        got = reloaded.get(("sort", "-rn"))
+        assert got.ok
+        assert got.combiner.primary.op.flags == "-rn"
+
+    def test_usable_as_synthesis_cache(self, tmp_path, sort_result,
+                                       fast_config):
+        from repro import parallelize
+
+        path = tmp_path / "combiners.json"
+        store = CombinerStore(path)
+        store.put(("sort", "-rn"), sort_result)
+        pp = parallelize("cat in.txt | sort -rn", k=2,
+                         files={"in.txt": "1\n3\n2\n"},
+                         config=fast_config, results=store.as_cache())
+        assert pp.run() == "3\n2\n1\n"
+
+    def test_restored_combiner_executes(self, tmp_path, sort_result):
+        from repro.core.dsl import EvalEnv
+
+        path = tmp_path / "c.json"
+        store = CombinerStore(path)
+        store.put(("sort", "-rn"), sort_result)
+        store.save()
+        restored = CombinerStore(path).get(("sort", "-rn"))
+        out = restored.combiner.apply("9\n2\n", "5\n", EvalEnv())
+        assert out == "9\n5\n2\n"
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        store = CombinerStore(tmp_path / "nope.json")
+        assert len(store) == 0
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            CombinerStore(path)

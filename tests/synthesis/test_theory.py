@@ -1,0 +1,136 @@
+"""Tests of the sufficiency predicates and theorem instances
+(Theorems 1-4, Table 2)."""
+
+from repro.core.dsl import (
+    Back,
+    Combiner,
+    Concat,
+    EvalEnv,
+    First,
+    Second,
+    all_candidates,
+    is_recop,
+)
+from repro.core.synthesis import filter_candidates
+from repro.core.theory import (
+    e_rec,
+    e_struct,
+    g_rec,
+    g_struct,
+    nonempty_outputs_observed,
+    t_pred,
+    table_delim,
+)
+from repro.core.dsl.equivalence import equivalent_on, probe_pairs
+
+
+class TestERec:
+    def test_requires_differing_outputs(self):
+        obs = [("a\n", "a\n", "a\na\n")]
+        assert not e_rec(obs)
+
+    def test_requires_informative_chars(self):
+        # only zeros and delimiters: insufficient
+        obs = [("0\n", "00\n", "0\n00\n")]
+        assert not e_rec(obs)
+
+    def test_satisfied(self):
+        obs = [("a\n", "b\n", "a\nb\n")]
+        assert e_rec(obs)
+
+    def test_conditions_may_come_from_different_observations(self):
+        obs = [("x\n", "x\n", "x\nx\n"),     # informative chars
+               ("0\n", "00\n", "0\n00\n")]   # differing outputs
+        assert e_rec(obs)
+
+
+class TestTableInterpretation:
+    def test_uniq_c_output_is_table(self):
+        obs = [("      1 a\n", "      2 b\n", "      1 a\n      2 b\n")]
+        assert t_pred(obs)
+        assert table_delim(obs) == " "
+
+    def test_plain_words_not_table(self):
+        obs = [("abc\n", "def\n", "abc\ndef\n")]
+        assert not t_pred(obs)
+
+
+class TestEStruct:
+    def test_satisfied_by_boundary_duplicate(self):
+        # last line of y1 equals first line of y2, y2 has a second line
+        obs = [("x\na\n", "a\nb\n", "x\na\nb\n"),
+               ("      1 a\n", "      1 b\n", "      1 a\n      1 b\n")]
+        assert e_struct(obs)
+
+    def test_unsatisfied_without_boundary_duplicate(self):
+        obs = [("a\n", "b\n", "a\nb\n")]
+        assert not e_struct(obs)
+
+
+class TestNonemptyGate:
+    def test_all_empty_fails(self):
+        assert not nonempty_outputs_observed([("", "", "")])
+
+    def test_nonempty_passes(self):
+        assert nonempty_outputs_observed([("", "", ""), ("a\n", "b\n", "a\nb\n")])
+
+
+class TestTheorem2Instances:
+    """Every RecOp survivor of an E_rec-sufficient observation set is
+    ≡∩-equivalent to the correct combiner (Theorem 2)."""
+
+    def _surviving_recops(self, obs):
+        env = EvalEnv()
+        cands = [c for c in all_candidates(("\n", " "), max_size=5)
+                 if is_recop(c)]
+        return filter_candidates(cands, obs, env)
+
+    def test_concat_command(self):
+        # observations from a concat-correct command (e.g. grep)
+        obs = [("apple\n", "banana\n", "apple\nbanana\n"),
+               ("x y\n", "z w\nq\n", "x y\nz w\nq\n"),
+               ("\n", "k\n", "\nk\n")]
+        assert e_rec(obs)
+        survivors = self._surviving_recops(obs)
+        target = Combiner(Concat())
+        assert target in survivors
+        pairs = probe_pairs()
+        for s in survivors:
+            assert equivalent_on(s, target, pairs), s.pretty()
+
+    def test_back_add_command(self):
+        # observations from a wc -l-like command
+        obs = [("2\n", "3\n", "5\n"), ("10\n", "1\n", "11\n"),
+               ("7\n", "7\n", "14\n")]
+        assert e_rec(obs)
+        survivors = self._surviving_recops(obs)
+        target = Combiner(Back("\n", Add_()))
+        assert target in survivors
+
+    def test_first_command(self):
+        obs = [("a\n", "b\n", "a\n"), ("q\n", "zz\n", "q\n")]
+        assert e_rec(obs)
+        survivors = self._surviving_recops(obs)
+        assert Combiner(First()) in survivors
+        assert Combiner(Second(), swapped=True) in survivors
+        assert Combiner(Second()) not in survivors
+
+
+def Add_():
+    from repro.core.dsl import Add
+
+    return Add()
+
+
+class TestRepresentativeSets:
+    def test_g_rec_members_are_recops(self):
+        from repro.core.dsl.ast import RecOpNode
+
+        assert all(isinstance(op, RecOpNode) for op in g_rec())
+        assert len(g_rec()) == 9
+
+    def test_g_struct_members_are_structops(self):
+        from repro.core.dsl.ast import StructOpNode
+
+        assert all(isinstance(op, StructOpNode) for op in g_struct())
+        assert len(g_struct()) == 3

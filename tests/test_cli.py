@@ -1,0 +1,71 @@
+"""CLI tests (python -m repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_synthesize_prints_combiner(capsys):
+    rc = main(["--seed", "7", "synthesize", "wc -l"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "(back '\\n' add" in out
+    assert "2700" in out
+
+
+def test_synthesize_unsupported_nonzero_exit(capsys):
+    rc = main(["--seed", "7", "synthesize", "sed 1d"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "UNSUPPORTED" in out
+
+
+def test_synthesize_with_store(tmp_path, capsys):
+    store = tmp_path / "combiners.json"
+    rc = main(["--seed", "7", "synthesize", "sort -rn",
+               "--store", str(store)])
+    assert rc == 0
+    assert store.exists()
+    rc = main(["--seed", "7", "synthesize", "sort -rn",
+               "--store", str(store)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "(cached)" in out
+
+
+def test_explain(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\nb\n")
+    rc = main(["--seed", "7", "explain", "cat in.txt | sort | uniq -c",
+               "--file", str(f)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "parallelized" in out
+    assert "merge" in out
+
+
+def test_run_writes_output(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\nb\n")
+    rc = main(["--seed", "7", "run", "cat in.txt | sort | uniq",
+               "-k", "2", "--file", str(f)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out == "a\nb\n"
+
+
+def test_run_output_file_and_stats(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\n")
+    dest = tmp_path / "out.txt"
+    rc = main(["--seed", "7", "run", "cat in.txt | sort", "-k", "2",
+               "--file", str(f), "--output", str(dest), "--stats"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert dest.read_text() == "a\nb\n"
+    assert "total" in captured.err
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main([])

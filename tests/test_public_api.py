@@ -1,0 +1,39 @@
+"""Top-level public API tests."""
+
+import repro
+from repro import parallelize
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_parallelize_smoke(fast_config):
+    pp = parallelize("cat in.txt | sort | uniq -c", k=2,
+                     files={"in.txt": "b\na\nb\n"}, config=fast_config)
+    assert pp.run() == "      1 a\n      2 b\n"
+
+
+def test_parallelize_reuses_results_cache(fast_config):
+    results = {}
+    parallelize("cat a.txt | sort", k=2, files={"a.txt": "b\na\n"},
+                config=fast_config, results=results)
+    keys_after_first = set(results)
+    pp = parallelize("cat b.txt | sort | uniq", k=2,
+                     files={"b.txt": "a\na\n"},
+                     config=fast_config, results=results)
+    assert ("sort",) in keys_after_first
+    assert ("uniq",) in set(results)
+    assert pp.run() == "a\n"
+
+
+def test_parallelize_env_expansion(fast_config):
+    pp = parallelize("cat $IN | sort -rn", k=2,
+                     files={"nums.txt": "1\n3\n2\n"},
+                     env={"IN": "nums.txt"}, config=fast_config)
+    assert pp.run() == "3\n2\n1\n"

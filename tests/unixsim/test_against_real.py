@@ -1,0 +1,70 @@
+"""Cross-check the simulators against real GNU binaries when present.
+
+These tests compare the pure-Python substrate with the actual
+coreutils on the host.  They are skipped wholesale on systems without
+the binaries, keeping the suite hermetic.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.unixsim import build
+
+SAMPLE = ("Hello, world!! foo\nthe quick Brown fox\n"
+          "the the THE\n1 apple\n10 pears\n2 plums\n\nlast line\n")
+
+
+def _real(argv, data):
+    proc = subprocess.run(argv, input=data, capture_output=True, text=True,
+                          env={"LC_ALL": "C", "PATH": "/usr/bin:/bin"})
+    if proc.returncode != 0:
+        pytest.skip(f"real {argv[0]} failed: {proc.stderr[:80]}")
+    return proc.stdout
+
+
+CASES = [
+    ["tr", "A-Z", "a-z"],
+    ["tr", "-cs", "A-Za-z", "\\n"],
+    ["tr", "-d", "[:punct:]"],
+    ["tr", "-s", " ", "\\n"],
+    ["sort"],
+    ["sort", "-n"],
+    ["sort", "-rn"],
+    ["sort", "-u"],
+    ["sort", "-r"],
+    ["uniq"],
+    ["uniq", "-c"],
+    ["grep", "the"],
+    ["grep", "-c", "the"],
+    ["grep", "-v", "the"],
+    ["grep", "-i", "hello"],
+    ["grep", "^....$"],
+    ["sed", "s/the/THE/"],
+    ["sed", "s/the/THE/g"],
+    ["sed", "2q"],
+    ["sed", "1d"],
+    ["sed", "s/$/./"],
+    ["cut", "-c", "1-4"],
+    ["cut", "-d", " ", "-f", "1"],
+    ["cut", "-d", " ", "-f", "1,3"],
+    ["wc", "-l"],
+    ["head", "-n", "3"],
+    ["tail", "-n", "2"],
+    ["tail", "-n", "+3"],
+    ["rev"],
+    ["awk", "{print $2, $1}"],
+    ["awk", "length >= 10"],
+    ["awk", "{print NF}"],
+    ["awk", "$1 >= 2"],
+]
+
+
+@pytest.mark.parametrize("argv", CASES, ids=lambda a: " ".join(a))
+def test_simulator_matches_real_binary(argv):
+    if shutil.which(argv[0]) is None:
+        pytest.skip(f"{argv[0]} not installed")
+    sim = build(argv).run(SAMPLE)
+    real = _real(argv, SAMPLE)
+    assert sim == real

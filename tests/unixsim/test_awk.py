@@ -1,0 +1,75 @@
+"""Tests for the AWK interpreter subset."""
+
+from repro.unixsim import build
+
+
+def awk(*args):
+    return build(["awk", *args])
+
+
+class TestPatterns:
+    def test_numeric_comparison_on_field(self):
+        assert awk("$1 >= 1000").run("999 a\n1000 b\n2000 c\n") == \
+            "1000 b\n2000 c\n"
+
+    def test_equality(self):
+        assert awk("$1 == 2 {print $2, $3}").run("2 a b\n3 x y\n") == "a b\n"
+
+    def test_length_builtin(self):
+        assert awk("length >= 4").run("abc\nabcd\nabcde\n") == "abcd\nabcde\n"
+
+    def test_length_upper_bound(self):
+        assert awk("length <= 2").run("a\nab\nabc\n") == "a\nab\n"
+
+    def test_constant_pattern_one(self):
+        assert awk("1").run("a\nb\n") == "a\nb\n"
+
+    def test_string_vs_numeric_comparison(self):
+        # both sides numeric strings -> numeric comparison
+        assert awk("$1 > $2").run("10 9\n9 10\n") == "10 9\n"
+
+
+class TestActions:
+    def test_print_field(self):
+        assert awk("{print $2}").run("a b c\n") == "b\n"
+
+    def test_print_multiple_with_ofs(self):
+        assert awk("{print $2, $1}").run("a b\n") == "b a\n"
+
+    def test_custom_ofs(self):
+        assert awk("-v", "OFS=\\t", "{print $2,$1}").run("a b\n") == "b\ta\n"
+
+    def test_print_dollar_zero(self):
+        assert awk("{print $2, $0}").run("a b\n") == "b a b\n"
+
+    def test_print_nf(self):
+        assert awk("{print NF}").run("a b c\nx\n\n") == "3\n1\n0\n"
+
+    def test_field_reassignment_normalizes_whitespace(self):
+        assert awk("{$1=$1};1").run("  a   b  \n") == "a b\n"
+
+    def test_pattern_with_action(self):
+        assert awk("$1 >= 2 {print $2}").run("1 a\n2 b\n3 c\n") == "b\nc\n"
+
+    def test_missing_field_is_empty(self):
+        assert awk("{print $9}").run("a b\n") == "\n"
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert awk("{print $1 + $2}").run("2 3\n") == "5\n"
+
+    def test_boolean_and(self):
+        assert awk("$1 > 1 && $1 < 4").run("1\n2\n3\n4\n") == "2\n3\n"
+
+    def test_boolean_or(self):
+        assert awk("$1 == 1 || $1 == 3").run("1\n2\n3\n") == "1\n3\n"
+
+    def test_substr(self):
+        assert awk("{print substr($1, 2, 2)}").run("abcde\n") == "bc\n"
+
+    def test_toupper(self):
+        assert awk("{print toupper($1)}").run("ab\n") == "AB\n"
+
+    def test_nr(self):
+        assert awk("NR == 2").run("a\nb\nc\n") == "b\n"

@@ -1,0 +1,75 @@
+"""AWK BEGIN/END blocks and accumulators, plus their synthesis."""
+
+from repro.unixsim import build
+
+
+def awk(*args):
+    return build(["awk", *args])
+
+
+class TestBeginEnd:
+    def test_sum_column(self):
+        assert awk("{s += $1} END {print s}").run("1\n2\n3\n") == "6\n"
+
+    def test_sum_empty_input(self):
+        assert awk("{s += $1} END {print s}").run("") == "\n"
+
+    def test_begin_header(self):
+        assert awk('BEGIN {print "hdr"} {print $1}').run("a\nb\n") == \
+            "hdr\na\nb\n"
+
+    def test_count_records(self):
+        assert awk("END {print NR}").run("a\nb\nc\n") == "3\n"
+
+    def test_minus_equals(self):
+        assert awk("{d -= $1} END {print d}").run("1\n2\n") == "-3\n"
+
+    def test_variables_persist_across_rules(self):
+        out = awk("{n += 1} $1 == 2 {m += 1} END {print n, m}") \
+            .run("1\n2\n2\n")
+        assert out == "3 2\n"
+
+    def test_conditional_accumulation(self):
+        out = awk('$2 == "x" {s += $1} END {print s}') \
+            .run("5 x\n3 y\n2 x\n")
+        assert out == "7\n"
+
+
+class TestSortSeparator:
+    def test_sort_t_key(self):
+        cmd = build(["sort", "-t", ",", "-k2n"])
+        assert cmd.run("a,10\nb,2\nc,1\n") == "c,1\nb,2\na,10\n"
+
+    def test_sort_t_attached(self):
+        cmd = build(["sort", "-t,", "-k2n"])
+        assert cmd.run("a,10\nb,2\n") == "b,2\na,10\n"
+
+
+class TestAccumulatorSynthesis:
+    """A streaming sum is the canonical add-combined command: the
+    synthesizer must find (back '\\n' add) for it even though no
+    benchmark in the paper contains it."""
+
+    def test_awk_sum_gets_back_add(self, fast_config):
+        from repro.core.dsl import Back
+        from repro.core.dsl.ast import Add
+        from repro.core.synthesis import synthesize
+        from repro.shell import Command
+
+        r = synthesize(Command(["awk", "{s += $1} END {print s}"]),
+                       fast_config)
+        assert r.ok
+        assert r.combiner.primary.op == Back("\n", Add())
+
+    def test_wc_full_gets_fused_add(self, fast_config):
+        """`wc` (three counters on one line) needs add applied piecewise:
+        (back '\\n' (fuse ' ' add)) — the paper's representative g_bfa."""
+        from repro.core.dsl import Back, Fuse
+        from repro.core.dsl.ast import Add
+        from repro.core.synthesis import synthesize
+        from repro.shell import Command
+
+        r = synthesize(Command(["wc"]), fast_config)
+        assert r.ok
+        op = r.combiner.primary.op
+        assert op == Back("\n", Fuse(" ", Add())), op.pretty()

@@ -1,0 +1,75 @@
+"""Unit tests for the tr character-set parser."""
+
+import pytest
+
+from repro.unixsim import UsageError
+from repro.unixsim.charsets import complement, parse_set
+
+
+class TestParseSet:
+    def test_plain_chars(self):
+        chars, rep = parse_set("abc")
+        assert chars == ["a", "b", "c"] and rep is None
+
+    def test_range(self):
+        chars, _ = parse_set("a-e")
+        assert chars == list("abcde")
+
+    def test_multiple_ranges(self):
+        chars, _ = parse_set("A-Za-z")
+        assert len(chars) == 52
+        assert chars[0] == "A" and chars[-1] == "z"
+
+    def test_bracketed_range_keeps_brackets(self):
+        chars, _ = parse_set("[a-c]")
+        assert chars == ["[", "a", "b", "c", "]"]
+
+    def test_character_class(self):
+        chars, _ = parse_set("[:digit:]")
+        assert chars == list("0123456789")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(UsageError):
+            parse_set("[:bogus:]")
+
+    def test_escapes(self):
+        assert parse_set("\\n\\t")[0] == ["\n", "\t"]
+
+    def test_octal_escape(self):
+        assert parse_set("\\012")[0] == ["\n"]
+
+    def test_backslash_range_endpoint(self):
+        chars, _ = parse_set("\\011-\\013")
+        assert chars == ["\t", "\n", "\x0b"]
+
+    def test_repeat_construct(self):
+        chars, rep = parse_set("[x*]", allow_repeat=True)
+        assert chars == [] and rep == ("x", None)
+
+    def test_repeat_with_count(self):
+        _, rep = parse_set("[y*3]", allow_repeat=True)
+        assert rep == ("y", 3)
+
+    def test_repeat_with_escaped_char(self):
+        _, rep = parse_set("[\\012*]", allow_repeat=True)
+        assert rep == ("\n", None)
+
+    def test_repeat_not_allowed_in_set1(self):
+        chars, rep = parse_set("[x*]", allow_repeat=False)
+        assert rep is None
+        assert chars == ["[", "x", "*", "]"]
+
+
+class TestComplement:
+    def test_size(self):
+        chars, _ = parse_set("a-z")
+        comp = complement(chars)
+        assert len(comp) == 256 - 26
+
+    def test_ascending_order(self):
+        comp = complement(["a"])
+        assert comp == sorted(comp)
+
+    def test_excludes_members(self):
+        comp = complement(list("xyz"))
+        assert not set("xyz") & set(comp)

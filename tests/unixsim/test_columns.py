@@ -1,0 +1,113 @@
+"""Tests for the column-oriented commands: paste, join, nl, tac, expand."""
+
+import pytest
+
+from repro.unixsim import ExecContext, UsageError, build
+
+
+class TestPaste:
+    def test_stdin_identity(self):
+        assert build(["paste"]).run("a\nb\n") == "a\nb\n"
+
+    def test_two_files(self):
+        ctx = ExecContext(fs={"f1": "a\nb\n", "f2": "1\n2\n"})
+        assert build(["paste", "f1", "f2"]).run("", ctx) == "a\t1\nb\t2\n"
+
+    def test_stdin_and_file(self):
+        ctx = ExecContext(fs={"f2": "1\n2\n"})
+        assert build(["paste", "-", "f2"]).run("a\nb\n", ctx) == \
+            "a\t1\nb\t2\n"
+
+    def test_custom_delimiter(self):
+        ctx = ExecContext(fs={"f1": "a\n", "f2": "b\n"})
+        assert build(["paste", "-d", ",", "f1", "f2"]).run("", ctx) == "a,b\n"
+
+    def test_ragged_columns_padded(self):
+        ctx = ExecContext(fs={"f1": "a\nb\nc\n", "f2": "1\n"})
+        assert build(["paste", "f1", "f2"]).run("", ctx) == \
+            "a\t1\nb\t\nc\t\n"
+
+    def test_serial_mode(self):
+        assert build(["paste", "-s", "-d", " ", "-"]).run("a\nb\nc\n") == \
+            "a b c\n"
+
+
+class TestJoin:
+    def test_join_on_first_field(self):
+        ctx = ExecContext(fs={"f2": "a x\nc y\n"})
+        out = build(["join", "-", "f2"]).run("a 1\nb 2\nc 3\n", ctx)
+        assert out == "a 1 x\nc 3 y\n"
+
+    def test_duplicate_keys_cross_product(self):
+        ctx = ExecContext(fs={"f2": "a x\na y\n"})
+        out = build(["join", "-", "f2"]).run("a 1\n", ctx)
+        assert out == "a 1 x\na 1 y\n"
+
+    def test_custom_separator(self):
+        ctx = ExecContext(fs={"f2": "a,x\n"})
+        out = build(["join", "-t", ",", "-", "f2"]).run("a,1\n", ctx)
+        assert out == "a,1,x\n"
+
+    def test_requires_two_files(self):
+        with pytest.raises(UsageError):
+            build(["join", "onefile"])
+
+
+class TestNlTacExpand:
+    def test_nl_numbers_lines(self):
+        assert build(["nl"]).run("a\nb\n") == "     1\ta\n     2\tb\n"
+
+    def test_tac_reverses(self):
+        assert build(["tac"]).run("a\nb\nc\n") == "c\nb\na\n"
+
+    def test_tac_involution(self):
+        data = "x\ny\nz\n"
+        assert build(["tac"]).run(build(["tac"]).run(data)) == data
+
+    def test_expand_default_tabstop(self):
+        assert build(["expand"]).run("a\tb\n") == "a       b\n"
+
+    def test_expand_custom_tabstop(self):
+        assert build(["expand", "-t", "4"]).run("a\tb\n") == "a   b\n"
+
+
+class TestSynthesisOfNewCommands:
+    """The headline capability: commands the paper never saw still get
+    combiners without any manual work."""
+
+    def test_tac_gets_swapped_concat(self, fast_config):
+        from repro.core.dsl import Concat
+        from repro.core.synthesis import synthesize
+        from repro.shell import Command
+
+        r = synthesize(Command(["tac"]), fast_config)
+        assert r.ok
+        primary = r.combiner.primary
+        assert isinstance(primary.op, Concat) and primary.swapped
+
+    def test_nl_gets_offset_add(self, fast_config):
+        # line numbers continue across the split: exactly what the
+        # offset operator re-bases (h1 = last number of y1, added to
+        # every number in y2)
+        from repro.core.dsl import EvalEnv, Offset
+        from repro.core.dsl.ast import Add
+        from repro.core.synthesis import synthesize
+        from repro.shell import Command
+
+        r = synthesize(Command(["nl"]), fast_config)
+        assert r.ok
+        op = r.combiner.primary.op
+        assert isinstance(op, Offset) and op.delim == "\t"
+        assert isinstance(op.child, Add)
+        out = r.combiner.apply("     1\ta\n     2\tb\n", "     1\tc\n",
+                               EvalEnv())
+        assert out == "     1\ta\n     2\tb\n     3\tc\n"
+
+    def test_expand_gets_concat(self, fast_config):
+        from repro.core.dsl import Concat
+        from repro.core.synthesis import synthesize
+        from repro.shell import Command
+
+        r = synthesize(Command(["expand"]), fast_config)
+        assert r.ok
+        assert isinstance(r.combiner.primary.op, Concat)

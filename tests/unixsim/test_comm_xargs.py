@@ -1,0 +1,67 @@
+"""Tests for comm (sorted set ops) and xargs (virtual filesystem)."""
+
+import pytest
+
+from repro.unixsim import CommandError, ExecContext, build
+
+
+@pytest.fixture
+def ctx():
+    return ExecContext(fs={
+        "dict": "banana\ncherry\n",
+        "f1": "x\ny\n",
+        "f2": "z\n",
+        "script": "#!/bin/sh\necho hi\n",
+        "empty": "",
+    })
+
+
+class TestComm:
+    def test_unique_to_stdin(self, ctx):
+        out = build(["comm", "-23", "-", "dict"]).run(
+            "apple\nbanana\nzebra\n", ctx)
+        assert out == "apple\nzebra\n"
+
+    def test_three_columns_default(self, ctx):
+        out = build(["comm", "-", "dict"]).run("banana\nkiwi\n", ctx)
+        assert out == "\t\tbanana\n\tcherry\nkiwi\n"
+
+    def test_unsorted_input_fails(self, ctx):
+        with pytest.raises(CommandError):
+            build(["comm", "-23", "-", "dict"]).run("zebra\napple\n", ctx)
+
+    def test_unsorted_file_fails(self):
+        ctx = ExecContext(fs={"d": "b\na\n"})
+        with pytest.raises(CommandError):
+            build(["comm", "-23", "-", "d"]).run("a\n", ctx)
+
+    def test_suppress_combinations(self, ctx):
+        out = build(["comm", "-13", "-", "dict"]).run("apple\nbanana\n", ctx)
+        assert out == "cherry\n"
+
+    def test_missing_file(self):
+        with pytest.raises(CommandError):
+            build(["comm", "-23", "-", "missing"]).run("a\n", ExecContext())
+
+
+class TestXargs:
+    def test_cat_concatenates(self, ctx):
+        assert build(["xargs", "cat"]).run("f1\nf2\n", ctx) == "x\ny\nz\n"
+
+    def test_cat_missing_file_fails(self, ctx):
+        with pytest.raises(CommandError):
+            build(["xargs", "cat"]).run("nonexistent\n", ctx)
+
+    def test_file_reports_types(self, ctx):
+        out = build(["xargs", "file"]).run("f1\nscript\nempty\n", ctx)
+        lines = out.splitlines()
+        assert lines[0] == "f1: ASCII text"
+        assert "shell script" in lines[1]
+        assert lines[2] == "empty: empty"
+
+    def test_wc_per_file(self, ctx):
+        out = build(["xargs", "-L", "1", "wc", "-l"]).run("f1\nf2\n", ctx)
+        assert out == "2 f1\n1 f2\n"
+
+    def test_empty_input(self, ctx):
+        assert build(["xargs", "cat"]).run("", ctx) == ""

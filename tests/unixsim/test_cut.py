@@ -1,0 +1,67 @@
+"""Tests for the simulated ``cut``."""
+
+import pytest
+
+from repro.unixsim import UsageError, build
+
+
+def cut(*args):
+    return build(["cut", *args])
+
+
+class TestCharacters:
+    def test_range(self):
+        assert cut("-c", "1-4").run("abcdefg\nab\n") == "abcd\nab\n"
+
+    def test_single(self):
+        assert cut("-c", "3-3").run("abcde\n") == "c\n"
+
+    def test_multiple_ranges(self):
+        assert cut("-c", "1-2,4").run("abcde\n") == "abd\n"
+
+    def test_open_range(self):
+        assert cut("-c", "3-").run("abcde\n") == "cde\n"
+
+
+class TestFields:
+    def test_single_field(self):
+        assert cut("-d", ",", "-f", "1").run("a,b,c\n") == "a\n"
+
+    def test_field_order_is_file_order(self):
+        # GNU cut emits fields in file order regardless of LIST order
+        data = "a,b,c,d\n"
+        assert cut("-d", ",", "-f", "3,1").run(data) == \
+            cut("-d", ",", "-f", "1,3").run(data) == "a,c\n"
+
+    def test_line_without_delimiter_passes_through(self):
+        assert cut("-d", ",", "-f", "2").run("plain\n") == "plain\n"
+
+    def test_only_delimited(self):
+        assert cut("-d", ",", "-f", "1", "-s").run("a,b\nplain\n") == "a\n"
+
+    def test_default_tab_delimiter(self):
+        assert cut("-f", "2").run("a\tb\tc\n") == "b\n"
+
+    def test_attached_flag_forms(self):
+        assert cut("-d:", "-f1").run("a:b\n") == "a\n"
+
+    def test_missing_fields_dropped(self):
+        assert cut("-d", ",", "-f", "1,5").run("a,b\n") == "a\n"
+
+
+class TestErrors:
+    def test_field_zero_rejected(self):
+        with pytest.raises(UsageError):
+            cut("-f", "0")
+
+    def test_both_lists_rejected(self):
+        with pytest.raises(UsageError):
+            cut("-c", "1", "-f", "1")
+
+    def test_no_list_rejected(self):
+        with pytest.raises(UsageError):
+            cut("-d", ",")
+
+    def test_decreasing_range_rejected(self):
+        with pytest.raises(UsageError):
+            cut("-c", "5-2")

@@ -1,0 +1,87 @@
+"""Tests for the simulated ``grep`` and the BRE translator."""
+
+import re
+
+import pytest
+
+from repro.unixsim import build
+from repro.unixsim.bre import bre_to_python
+
+
+def grep(*args):
+    return build(["grep", *args])
+
+
+class TestBasicMatching:
+    def test_substring(self):
+        assert grep("x").run("axb\nno\n") == "axb\n"
+
+    def test_anchors(self):
+        assert grep("^ab$").run("ab\nxab\naby\n") == "ab\n"
+
+    def test_dot_and_star(self):
+        assert grep("l.ght").run("light\nlaght\nlght\n") == "light\nlaght\n"
+        assert grep("lo*ng").run("lng\nlong\nloong\nlung\n") == "lng\nlong\nloong\n"
+
+    def test_bracket_class(self):
+        assert grep("[KQRBN]").run("Kx\nqx\nNy\nzz\n") == "Kx\nNy\n"
+
+    def test_negated_class(self):
+        out = grep("^[^aeiou]*$").run("zzz\nabc\nxyz\n")
+        assert out == "zzz\nxyz\n"
+
+    def test_four_char_lines(self):
+        assert grep("^....$").run("abcd\nabc\nabcde\n") == "abcd\n"
+
+    def test_escaped_dot(self):
+        assert grep("\\.").run("a.b\nab\n") == "a.b\n"
+
+
+class TestBackreferences:
+    def test_nfa_regex_pattern(self):
+        pat = r"\(.\).*\1\(.\).*\2\(.\).*\3\(.\).*\4"
+        data = "aabbccdd\nabcdabcd\nxyxy\n"
+        assert grep(pat).run(data) == "aabbccdd\n"
+
+    def test_simple_backreference(self):
+        assert grep(r"\(ab\)\1").run("abab\nabba\n") == "abab\n"
+
+
+class TestFlags:
+    def test_invert(self):
+        assert grep("-v", "x").run("ax\nb\ncx\n") == "b\n"
+
+    def test_count(self):
+        assert grep("-c", "a").run("a\nb\na\n") == "2\n"
+
+    def test_count_zero(self):
+        assert grep("-c", "zzz").run("a\nb\n") == "0\n"
+
+    def test_ignorecase(self):
+        assert grep("-i", "hello").run("HeLLo\nworld\n") == "HeLLo\n"
+
+    def test_invert_count(self):
+        assert grep("-vc", "a").run("a\nb\nc\n") == "2\n"
+
+    def test_invert_ignorecase(self):
+        assert grep("-vi", "[aeiou]").run("sky\nmoon\nTRY\n") == "sky\nTRY\n"
+
+
+class TestBreTranslation:
+    def test_plus_is_literal(self):
+        assert re.search(bre_to_python("a+"), "a+")
+        assert not re.search(bre_to_python("a+"), "aa")
+
+    def test_parens_literal(self):
+        assert re.search(bre_to_python("(x)"), "(x)")
+
+    def test_posix_class_inside_brackets(self):
+        assert re.search(bre_to_python("[[:digit:]]"), "a5")
+
+    def test_group_syntax(self):
+        rx = re.compile(bre_to_python(r"\(ab\)*c"))
+        assert rx.search("ababc")
+
+    def test_trailing_backslash_rejected(self):
+        with pytest.raises(Exception):
+            bre_to_python("abc\\")

@@ -1,0 +1,93 @@
+"""Tests for wc, head, tail, cat, rev, fmt, col, iconv."""
+
+import pytest
+
+from repro.unixsim import CommandError, ExecContext, build
+
+
+class TestWc:
+    def test_lines(self):
+        assert build(["wc", "-l"]).run("a\nb\nc\n") == "3\n"
+
+    def test_lines_counts_newlines(self):
+        assert build(["wc", "-l"]).run("a\nb") == "1\n"
+
+    def test_words(self):
+        assert build(["wc", "-w"]).run("a b\nc\n") == "3\n"
+
+    def test_chars(self):
+        assert build(["wc", "-c"]).run("abc\n") == "4\n"
+
+    def test_combined_default(self):
+        assert build(["wc"]).run("a b\n") == "1 2 4\n"
+
+    def test_empty(self):
+        assert build(["wc", "-l"]).run("") == "0\n"
+
+
+class TestHeadTail:
+    def test_head_n(self):
+        assert build(["head", "-n", "2"]).run("a\nb\nc\n") == "a\nb\n"
+
+    def test_head_legacy_flag(self):
+        assert build(["head", "-15"]).run("x\n" * 20) == "x\n" * 15
+
+    def test_head_beyond_input(self):
+        assert build(["head", "-n", "5"]).run("a\n") == "a\n"
+
+    def test_tail_n(self):
+        assert build(["tail", "-n", "1"]).run("a\nb\nc\n") == "c\n"
+
+    def test_tail_from_start(self):
+        assert build(["tail", "+2"]).run("a\nb\nc\n") == "b\nc\n"
+
+    def test_tail_n_plus(self):
+        assert build(["tail", "-n", "+3"]).run("a\nb\nc\nd\n") == "c\nd\n"
+
+    def test_tail_plus_beyond(self):
+        assert build(["tail", "+9"]).run("a\nb\n") == ""
+
+
+class TestCat:
+    def test_stdin_identity(self):
+        assert build(["cat"]).run("x\n") == "x\n"
+
+    def test_file_argument(self):
+        ctx = ExecContext(fs={"f": "data\n"})
+        assert build(["cat", "f"]).run("ignored\n", ctx) == "data\n"
+
+    def test_dash_mixes_stdin(self):
+        ctx = ExecContext(fs={"f": "file\n"})
+        assert build(["cat", "f", "-"]).run("stdin\n", ctx) == "file\nstdin\n"
+
+    def test_missing_file(self):
+        with pytest.raises(CommandError):
+            build(["cat", "nope"]).run("", ExecContext())
+
+
+class TestRevFmtColIconv:
+    def test_rev(self):
+        assert build(["rev"]).run("abc\nxy\n") == "cba\nyx\n"
+
+    def test_fmt_w1_one_word_per_line(self):
+        assert build(["fmt", "-w1"]).run("a bb ccc\n") == "a\nbb\nccc\n"
+
+    def test_fmt_wraps_at_width(self):
+        assert build(["fmt", "-w", "7"]).run("aa bb cc\n") == "aa bb\ncc\n"
+
+    def test_fmt_preserves_blank_lines(self):
+        assert build(["fmt", "-w1"]).run("a\n\nb\n") == "a\n\nb\n"
+
+    def test_col_bx_strips_backspaces(self):
+        assert build(["col", "-bx"]).run("ab\bc\n") == "ac\n"
+
+    def test_col_bx_expands_tabs(self):
+        assert build(["col", "-bx"]).run("a\tb\n") == "a       b\n"
+
+    def test_iconv_translit_strips_accents(self):
+        assert build(["iconv", "-f", "utf-8", "-t", "ascii//translit"]) \
+            .run("café\n") == "cafe\n"
+
+    def test_iconv_ascii_passthrough(self):
+        cmd = build(["iconv", "-f", "utf-8", "-t", "ascii//translit"])
+        assert cmd.run("plain text\n") == "plain text\n"

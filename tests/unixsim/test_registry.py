@@ -1,0 +1,54 @@
+"""Registry construction and error handling."""
+
+import pytest
+
+from repro.unixsim import UsageError, build, is_simulated
+from repro.unixsim.base import is_stream, lines_of, unlines
+
+
+def test_known_commands():
+    for name in ("tr", "sort", "uniq", "grep", "sed", "cut", "awk", "wc",
+                 "head", "tail", "comm", "xargs", "cat", "rev", "fmt",
+                 "col", "iconv"):
+        assert is_simulated(name)
+
+
+def test_unknown_command_rejected():
+    assert not is_simulated("mkfifo")
+    with pytest.raises(UsageError):
+        build(["mkfifo", "p"])
+
+
+def test_empty_argv_rejected():
+    with pytest.raises(UsageError):
+        build([])
+
+
+def test_argv_recorded():
+    cmd = build(["sort", "-rn"])
+    assert cmd.argv == ["sort", "-rn"]
+
+
+class TestStreamHelpers:
+    def test_lines_of_trailing_newline(self):
+        assert lines_of("a\nb\n") == ["a", "b"]
+
+    def test_lines_of_no_trailing_newline(self):
+        assert lines_of("a\nb") == ["a", "b"]
+
+    def test_lines_of_empty(self):
+        assert lines_of("") == []
+
+    def test_lines_of_blank_lines(self):
+        assert lines_of("\n\n") == ["", ""]
+
+    def test_unlines_round_trip(self):
+        assert unlines(lines_of("a\nb\n")) == "a\nb\n"
+
+    def test_unlines_empty(self):
+        assert unlines([]) == ""
+
+    def test_is_stream(self):
+        assert is_stream("")
+        assert is_stream("a\n")
+        assert not is_stream("a")

@@ -1,0 +1,65 @@
+"""Tests for the simulated ``sed``."""
+
+import pytest
+
+from repro.unixsim import UsageError, build
+
+
+def sed(script):
+    return build(["sed", script])
+
+
+class TestSubstitute:
+    def test_simple(self):
+        assert sed("s/a/b/").run("aaa\n") == "baa\n"
+
+    def test_global(self):
+        assert sed("s/a/b/g").run("aaa\n") == "bbb\n"
+
+    def test_anchor_end_append(self):
+        assert sed("s/$/0s/").run("196\nx\n") == "1960s\nx0s\n"
+
+    def test_anchor_start(self):
+        assert sed("s;^;>> ;").run("a\nb\n") == ">> a\n>> b\n"
+
+    def test_alternate_delimiter(self):
+        assert sed("s;a;b;").run("a\n") == "b\n"
+
+    def test_group_backreference(self):
+        out = sed(r"s/T\(..\):..:../,\1/").run("2020-01-02T10:11:12,x\n")
+        assert out == "2020-01-02,10,x\n"
+
+    def test_strip_time(self):
+        out = sed("s/T..:..:..//").run("2020-01-02T10:11:12,bus\n")
+        assert out == "2020-01-02,bus\n"
+
+    def test_ampersand_refers_to_match(self):
+        assert sed("s/ab/[&]/").run("xaby\n") == "x[ab]y\n"
+
+    def test_empty_replacement(self):
+        assert sed("s/b//g").run("abcb\n") == "ac\n"
+
+
+class TestAddresses:
+    def test_quit(self):
+        assert sed("2q").run("a\nb\nc\n") == "a\nb\n"
+
+    def test_quit_beyond_input(self):
+        assert sed("100q").run("a\nb\n") == "a\nb\n"
+
+    def test_delete_first(self):
+        assert sed("1d").run("a\nb\nc\n") == "b\nc\n"
+
+    def test_delete_nth(self):
+        assert sed("3d").run("a\nb\nc\nd\n") == "a\nb\nd\n"
+
+    def test_delete_beyond_input(self):
+        assert sed("5d").run("a\nb\n") == "a\nb\n"
+
+    def test_delete_last(self):
+        assert sed("$d").run("a\nb\nc\n") == "a\nb\n"
+
+
+def test_unsupported_script_rejected():
+    with pytest.raises(UsageError):
+        sed("y/abc/xyz/")

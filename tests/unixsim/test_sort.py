@@ -1,0 +1,74 @@
+"""Tests for the simulated ``sort`` and the merge primitive."""
+
+from repro.unixsim import build, merge_streams
+
+
+def sort(*args):
+    return build(["sort", *args])
+
+
+class TestPlainSort:
+    def test_lexicographic_c_locale(self):
+        assert sort().run("b\nB\na\n") == "B\na\nb\n"
+
+    def test_stable_last_resort(self):
+        assert sort().run("x\nx\n") == "x\nx\n"
+
+    def test_empty(self):
+        assert sort().run("") == ""
+
+
+class TestFlags:
+    def test_numeric(self):
+        assert sort("-n").run("10\n2\n1\n") == "1\n2\n10\n"
+
+    def test_numeric_reverse(self):
+        assert sort("-rn").run("1 a\n10 b\n2 c\n") == "10 b\n2 c\n1 a\n"
+
+    def test_nr_equals_rn(self):
+        data = "1 a\n10 b\n2 c\n"
+        assert sort("-nr").run(data) == sort("-rn").run(data)
+
+    def test_reverse(self):
+        assert sort("-r").run("a\nc\nb\n") == "c\nb\na\n"
+
+    def test_fold_case(self):
+        out = sort("-f").run("b\nA\nB\na\n")
+        assert [l.upper() for l in out.split()] == ["A", "A", "B", "B"]
+
+    def test_unique(self):
+        assert sort("-u").run("b\na\nb\na\n") == "a\nb\n"
+
+    def test_key_field_numeric(self):
+        out = sort("-k1n").run("10 x\n2 y\n1 z\n")
+        assert out == "1 z\n2 y\n10 x\n"
+
+    def test_parallel_flag_ignored(self):
+        assert sort("--parallel=1").run("b\na\n") == "a\nb\n"
+
+    def test_non_numeric_lines_sort_as_zero(self):
+        out = sort("-n").run("abc\n5\n-1\n")
+        assert out.index("-1") < out.index("abc") < out.index("5")
+
+
+class TestMerge:
+    def test_merge_two_sorted(self):
+        assert merge_streams("", ["a\nc\n", "b\nd\n"]) == "a\nb\nc\nd\n"
+
+    def test_merge_numeric_reverse(self):
+        out = merge_streams("-rn", ["9 a\n2 b\n", "5 c\n"])
+        assert out == "9 a\n5 c\n2 b\n"
+
+    def test_merge_three_ways(self):
+        out = merge_streams("", ["a\n", "b\n", "c\n"])
+        assert out == "a\nb\nc\n"
+
+    def test_merge_unique(self):
+        assert merge_streams("-u", ["a\nb\n", "b\nc\n"]) == "a\nb\nc\n"
+
+    def test_merge_empty_streams(self):
+        assert merge_streams("", ["", "a\n", ""]) == "a\n"
+
+    def test_sort_m_command(self):
+        # `sort -m` as a pipeline stage passes a single pre-sorted input
+        assert sort("-m").run("a\nb\n") == "a\nb\n"

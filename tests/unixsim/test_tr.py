@@ -1,0 +1,84 @@
+"""Tests for the simulated ``tr``."""
+
+import pytest
+
+from repro.unixsim import UsageError, build
+
+
+def tr(*args):
+    return build(["tr", *args])
+
+
+class TestTranslate:
+    def test_simple_ranges(self):
+        assert tr("A-Z", "a-z").run("HeLLo\n") == "hello\n"
+
+    def test_bracketed_ranges_align(self):
+        # GNU treats the brackets as literal, positionally aligned chars
+        assert tr("[A-Z]", "[a-z]").run("ABC[]\n") == "abc[]\n"
+
+    def test_multi_range_set(self):
+        assert tr("A-Za-z", "a-zA-Z").run("aZ\n") == "Az\n"
+
+    def test_set2_padded_with_last_char(self):
+        assert tr("[a-z]", "P").run("abc!\n") == "PPP!\n"
+
+    def test_space_to_newline(self):
+        assert tr(" ", "\\n").run("a b\n") == "a\nb\n"
+
+    def test_lower_to_newline(self):
+        out = tr("[a-z]", "\\n").run("aXbY\n")
+        assert out == "\nX\nY\n"
+
+    def test_character_classes(self):
+        assert tr("[:lower:]", "[:upper:]").run("abc\n") == "ABC\n"
+        assert tr("[:upper:]", "[:lower:]").run("ABC\n") == "abc\n"
+
+
+class TestDelete:
+    def test_delete_charset(self):
+        assert tr("-d", ",").run("a,b,c\n") == "abc\n"
+
+    def test_delete_punct_class(self):
+        assert tr("-d", "[:punct:]").run("a.b!c?\n") == "abc\n"
+
+    def test_delete_newlines_breaks_stream(self):
+        assert tr("-d", "\\n").run("a\nb\n") == "ab"
+
+
+class TestComplementAndSqueeze:
+    def test_cs_tokenize(self):
+        out = tr("-cs", "A-Za-z", "\\n").run("Hello, world!! foo\n")
+        assert out == "Hello\nworld\nfoo\n"
+
+    def test_cs_squeezes_consecutive_delims(self):
+        out = tr("-cs", "A-Za-z", "\\n").run("a...b\n")
+        assert out == "a\nb\n"
+
+    def test_c_without_squeeze_keeps_runs(self):
+        # complement translate: b, c, and the newline itself all map to \n
+        out = tr("-c", "[A-Z]", "\\n").run("AbcB\n")
+        assert out == "A\n\nB\n"
+
+    def test_sc_repeat_fill(self):
+        out = tr("-sc", "AEIOU", "[\\012*]").run("HELLO\n")
+        assert out == "\nE\nO\n"
+
+    def test_squeeze_translate(self):
+        assert tr("-s", " ", "\\n").run("a  b\n") == "a\nb\n"
+
+    def test_squeeze_only_one_set(self):
+        assert tr("-s", "l").run("hello\n") == "helo\n"
+
+
+class TestParsing:
+    def test_missing_set2_without_squeeze(self):
+        with pytest.raises(UsageError):
+            tr("a-z").run("x\n")
+
+    def test_octal_escape(self):
+        assert tr("a", "\\012").run("ab\n") == "\nb\n"
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(UsageError):
+            tr("z-a", "x")

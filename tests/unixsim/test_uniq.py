@@ -1,0 +1,34 @@
+"""Tests for the simulated ``uniq``."""
+
+from repro.unixsim import build
+
+
+def test_plain_dedupes_adjacent():
+    assert build(["uniq"]).run("a\na\nb\na\n") == "a\nb\na\n"
+
+
+def test_count_padding_is_gnu_width_7():
+    out = build(["uniq", "-c"]).run("a\na\nb\n")
+    assert out == "      2 a\n      1 b\n"
+
+
+def test_count_single_line():
+    assert build(["uniq", "-c"]).run("x\n") == "      1 x\n"
+
+
+def test_empty_input():
+    assert build(["uniq"]).run("") == ""
+    assert build(["uniq", "-c"]).run("") == ""
+
+
+def test_empty_lines_are_lines():
+    assert build(["uniq"]).run("\n\na\n") == "\na\n"
+
+
+def test_non_adjacent_duplicates_kept():
+    assert build(["uniq"]).run("a\nb\na\n") == "a\nb\na\n"
+
+
+def test_count_large_run():
+    out = build(["uniq", "-c"]).run("w\n" * 123)
+    assert out == "    123 w\n"

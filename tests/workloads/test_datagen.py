@@ -1,0 +1,72 @@
+"""Synthetic input-generator tests."""
+
+from repro.workloads import datagen
+
+
+class TestBookText:
+    def test_line_count(self):
+        assert datagen.book_text(50, 1).count("\n") == 50
+
+    def test_deterministic(self):
+        assert datagen.book_text(20, 7) == datagen.book_text(20, 7)
+
+    def test_seeds_differ(self):
+        assert datagen.book_text(20, 1) != datagen.book_text(20, 2)
+
+    def test_has_mixed_case_and_punctuation(self):
+        text = datagen.book_text(200, 3)
+        assert any(c.isupper() for c in text)
+        assert any(c in ".,!" for c in text)
+
+    def test_zipfy_repetition(self):
+        words = datagen.book_text(500, 1).split()
+        counts = sorted((words.count(w) for w in set(words)), reverse=True)
+        assert counts[0] > 5 * counts[-1]
+
+
+class TestTransitCsv:
+    def test_field_layout(self):
+        for line in datagen.transit_csv(20, 1).splitlines():
+            date, kind, vehicle, reading = line.split(",")
+            assert date[10] == "T" and date[4] == "-"
+            assert kind in ("bus", "tram", "trolley")
+            assert vehicle.startswith("veh")
+            assert reading.isdigit()
+
+
+class TestChessGames:
+    def test_notation(self):
+        text = datagen.chess_games(100, 2)
+        assert "x" in text            # captures
+        assert ". " in text           # move numbers
+        assert any(p in text for p in "KQRBN")
+
+
+class TestUnixHistory:
+    def test_tab_separated_fields(self):
+        for line in datagen.unix_history(30, 1).splitlines():
+            fields = line.split("\t")
+            assert len(fields) == 5
+            assert fields[3].isdigit()
+        text = datagen.unix_history(30, 1)
+        assert "AT&T" in text and "Bell Labs (" in text
+
+
+class TestFiles:
+    def test_numbered_files(self):
+        fs = datagen.numbered_files(4, 5, 1)
+        assert len(fs) == 4
+        assert all(v.endswith("\n") for v in fs.values())
+
+    def test_dictionary_sorted(self):
+        lines = datagen.dictionary_file().splitlines()
+        assert lines == sorted(lines)
+        assert len(lines) == len(set(lines))
+
+    def test_emails_format(self):
+        for line in datagen.log_emails(10, 1).splitlines():
+            assert line.startswith("To: ") and "@" in line
+
+    def test_people_two_fields(self):
+        for line in datagen.people_csv(10, 1).splitlines():
+            assert len(line.split(" ")) == 2

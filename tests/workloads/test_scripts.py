@@ -1,0 +1,63 @@
+"""Benchmark-suite structure tests: the paper's Table 3 accounting."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_SCRIPTS,
+    SUITES,
+    build_context,
+    get_script,
+    parse_script,
+    run_serial,
+    total_expected_stages,
+)
+
+
+class TestSuiteStructure:
+    def test_70_scripts(self):
+        assert len(ALL_SCRIPTS) == 70
+
+    def test_suite_sizes_match_paper(self):
+        assert len(SUITES["analytics-mts"]) == 4
+        assert len(SUITES["oneliners"]) == 10
+        assert len(SUITES["poets"]) == 22
+        assert len(SUITES["unix50"]) == 34
+
+    def test_total_stages_427(self):
+        assert total_expected_stages() == 427
+
+    def test_get_script(self):
+        s = get_script("oneliners", "wf.sh")
+        assert s.title == "word frequencies"
+        with pytest.raises(KeyError):
+            get_script("oneliners", "nope.sh")
+
+    def test_unique_names_within_suite(self):
+        for suite, scripts in SUITES.items():
+            names = [s.name for s in scripts]
+            assert len(names) == len(set(names)), suite
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS,
+                         ids=lambda s: f"{s.suite}/{s.name}")
+class TestEveryScript:
+    def test_stage_counts_match_table3(self, script):
+        ctx = build_context(script, scale=12, seed=2)
+        pipelines = parse_script(script, ctx)
+        counts = tuple(p.num_stages for p in pipelines)
+        assert counts == script.expected_stages
+
+    def test_runs_serially(self, script):
+        run = run_serial(script, scale=12, seed=2)
+        assert isinstance(run.output, str)
+        assert run.seconds >= 0
+
+
+class TestDeterminism:
+    def test_serial_run_deterministic(self):
+        s = get_script("oneliners", "wf.sh")
+        assert run_serial(s, 30, 5).output == run_serial(s, 30, 5).output
+
+    def test_scale_changes_input(self):
+        s = get_script("oneliners", "wf.sh")
+        assert run_serial(s, 10, 5).output != run_serial(s, 60, 5).output
