@@ -46,6 +46,14 @@ def main() -> None:
     for line in parallel_out.splitlines()[:8]:
         print("  " + line)
 
+    stats = pp.last_stats
+    print(f"\n{stats.data_plane} data plane, engine={stats.engine}: "
+          f"{stats.seconds:.3f}s, {stats.bytes_in} bytes in, "
+          f"{stats.total_overlap * 1000:.0f}ms cross-stage overlap")
+    for s in stats.stages:
+        print(f"  {s.display[:34]:34s} chunks={s.chunks:<3d} "
+              f"{s.throughput_mbs:6.1f} MB/s")
+
 
 if __name__ == "__main__":
     main()

@@ -20,10 +20,11 @@ elimination (:mod:`repro.parallel.planner`), and parallel execution
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from .core.dsl import Combiner, EvalEnv
 from .core.synthesis import (
+    CombinerStore,
     CompositeCombiner,
     SynthesisConfig,
     SynthesisResult,
@@ -32,6 +33,7 @@ from .core.synthesis import (
 from .parallel import (
     ParallelPipeline,
     PipelinePlan,
+    RunStats,
     SERIAL,
     compile_pipeline,
     split_stream,
@@ -40,13 +42,14 @@ from .parallel import (
 from .shell import Command, Pipeline
 from .unixsim import ExecContext
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Combiner", "Command", "CompositeCombiner", "EvalEnv", "ExecContext",
-    "ParallelPipeline", "Pipeline", "PipelinePlan", "SynthesisConfig",
-    "SynthesisResult", "compile_pipeline", "parallelize", "split_stream",
-    "synthesize", "synthesize_pipeline", "__version__",
+    "Combiner", "CombinerStore", "Command", "CompositeCombiner", "EvalEnv",
+    "ExecContext", "ParallelPipeline", "Pipeline", "PipelinePlan",
+    "RunStats", "SynthesisConfig", "SynthesisResult", "compile_pipeline",
+    "parallelize", "split_stream", "synthesize", "synthesize_pipeline",
+    "__version__",
 ]
 
 
@@ -59,6 +62,9 @@ def parallelize(
     optimize: bool = True,
     config: Optional[SynthesisConfig] = None,
     results: Optional[Dict[Tuple[str, ...], SynthesisResult]] = None,
+    store: Optional[Union[str, "CombinerStore"]] = None,
+    streaming: bool = True,
+    queue_depth: Optional[int] = None,
 ) -> ParallelPipeline:
     """One-shot: parse, synthesize combiners, compile, and wrap for execution.
 
@@ -72,10 +78,22 @@ def parallelize(
         config: synthesis knobs; defaults are laptop-friendly.
         results: optional pre-computed synthesis cache keyed by
             :meth:`Command.key` — pass the same dict across calls to
-            synthesize each unique command only once.
+            synthesize each unique command only once.  (Repeated calls
+            in one process also hit the built-in synthesis memo.)
+        store: path or :class:`CombinerStore` for persistent combiner
+            reuse across processes.
+        streaming: run with the chunk-pipelined streaming data plane
+            (default); ``False`` selects the barrier plane, which fully
+            materializes every intermediate stream.
+        queue_depth: chunks buffered between streaming stages before
+            the producer blocks.
     """
     context = ExecContext(fs=dict(files or {}), env=dict(env or {}))
     pipeline = Pipeline.from_string(pipeline_text, env=env, context=context)
-    results = synthesize_pipeline(pipeline, config=config, cache=results)
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = CombinerStore(store)
+    results = synthesize_pipeline(pipeline, config=config, cache=results,
+                                  store=store)
     plan = compile_pipeline(pipeline, results, optimize=optimize)
-    return ParallelPipeline(plan, k=k, engine=engine)
+    return ParallelPipeline(plan, k=k, engine=engine, streaming=streaming,
+                            queue_depth=queue_depth)

@@ -17,6 +17,11 @@ Subcommands:
 
 Files referenced by the pipeline are loaded from the real filesystem
 into the sandboxed virtual filesystem with ``--file PATH`` (repeatable).
+Execution uses the chunk-pipelined streaming data plane by default;
+``--barrier`` restores the paper's stage-at-a-time materialization, and
+``--stats`` prints per-stage throughput and overlap accounting.
+``--store combiners.json`` persists synthesis results so repeated runs
+skip re-synthesis.
 """
 
 from __future__ import annotations
@@ -45,14 +50,13 @@ def _config(args) -> SynthesisConfig:
 
 def cmd_synthesize(args) -> int:
     command = Command.from_string(args.command)
-    store: Optional[CombinerStore] = None
-    if args.store:
-        store = CombinerStore(args.store)
+    store = _open_store(args.store)
+    if store is not None:
         cached = store.get(command.key())
         if cached is not None:
             print(f"(cached) {cached.command_display}: "
                   f"{'; '.join(cached.pretty_survivors()) if cached.ok else cached.status}")
-            return 0
+            return 0 if cached.ok else 1
     result = synthesize(command, _config(args))
     rec, struct, run = result.search_space
     print(f"command:      {result.command_display}")
@@ -72,12 +76,25 @@ def cmd_synthesize(args) -> int:
     return 0 if result.ok else 1
 
 
+def _open_store(path: Optional[str]) -> Optional[CombinerStore]:
+    if not path:
+        return None
+    try:
+        return CombinerStore(path)
+    except Exception as exc:
+        print(f"error: cannot load combiner store {path}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _build(args):
     files = _load_files(args.file or [])
     env = dict(kv.split("=", 1) for kv in (args.env or []))
     return parallelize(args.pipeline, k=args.k, files=files, env=env,
                        engine=args.engine, optimize=not args.no_optimize,
-                       config=_config(args))
+                       config=_config(args), store=_open_store(args.store),
+                       streaming=not args.barrier,
+                       queue_depth=args.queue_depth)
 
 
 def cmd_explain(args) -> int:
@@ -98,11 +115,16 @@ def cmd_run(args) -> int:
     else:
         sys.stdout.write(out)
     if args.stats and pp.last_stats:
-        for s in pp.last_stats.stages:
+        stats = pp.last_stats
+        for s in stats.stages:
             print(f"# {s.display[:40]:40s} {s.mode:11s} "
-                  f"chunks={s.chunks} {s.seconds:.3f}s", file=sys.stderr)
-        print(f"# total {pp.last_stats.seconds:.3f}s "
-              f"(k={pp.last_stats.k}, engine={pp.last_stats.engine})",
+                  f"chunks={s.chunks} in={s.bytes_in}B out={s.bytes_out}B "
+                  f"{s.seconds:.3f}s overlap={s.overlap_seconds:.3f}s "
+                  f"({s.throughput_mbs:.1f} MB/s)", file=sys.stderr)
+        print(f"# total {stats.seconds:.3f}s "
+              f"overlap={stats.total_overlap:.3f}s "
+              f"(k={stats.k}, engine={stats.engine}, "
+              f"plane={stats.data_plane})",
               file=sys.stderr)
     return 0
 
@@ -130,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("serial", "threads", "processes"))
         p.add_argument("--no-optimize", action="store_true",
                        help="disable intermediate combiner elimination")
+        p.add_argument("--barrier", action="store_true",
+                       help="use the barrier data plane (full stream "
+                            "materialization between stages) instead of "
+                            "the chunk-pipelined streaming plane")
+        p.add_argument("--queue-depth", type=int, default=None,
+                       help="chunks buffered between streaming stages")
+        p.add_argument("--store",
+                       help="JSON combiner store to read/update, skipping "
+                            "re-synthesis of known commands")
         if name == "run":
             p.add_argument("--output", help="write output here, not stdout")
             p.add_argument("--stats", action="store_true",

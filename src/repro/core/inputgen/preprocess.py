@@ -179,6 +179,17 @@ def _sed_pattern(script: str) -> str:
     return body[:end]
 
 
+def seed_synthetic_files(context) -> None:
+    """Make the synthetic probe files visible in a context (idempotent).
+
+    Called during profiling, and by the synthesis memo on cache hits so
+    that a warm compile leaves the shared context in exactly the state
+    a cold compile would.
+    """
+    for fname, contents in _SYNTH_FILES.items():
+        context.fs.setdefault(fname, contents)
+
+
 def _probe(cmd: Command, data: str) -> Optional[str]:
     try:
         return cmd.run(data)
@@ -198,8 +209,7 @@ def build_profile(cmd: Command, rng: random.Random) -> CommandProfile:
         profile.merge_flags = " ".join(flags)
 
     # make the synthetic files visible to the command under test
-    for fname, contents in _SYNTH_FILES.items():
-        cmd.context.fs.setdefault(fname, contents)
+    seed_synthetic_files(cmd.context)
 
     unsorted = unlines(_UNSORTED_WORDS)
     sorted_in = unlines(sorted(_UNSORTED_WORDS))

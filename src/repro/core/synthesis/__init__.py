@@ -2,7 +2,14 @@
 
 from .candidates import count_eliminated, filter_candidates, plausible
 from .composite import CompositeCombiner, select_priority_class
-from .store import CombinerStore, result_from_dict, result_to_dict
+from .store import (
+    CombinerStore,
+    clear_synthesis_memo,
+    memoized_synthesize,
+    result_from_dict,
+    result_to_dict,
+    synthesis_memo_stats,
+)
 from .synthesizer import (
     COMMAND_BROKEN,
     INSUFFICIENT_INPUTS,
@@ -16,7 +23,8 @@ from .synthesizer import (
 __all__ = [
     "COMMAND_BROKEN", "CombinerStore", "CompositeCombiner",
     "INSUFFICIENT_INPUTS", "NO_COMBINER", "OK", "SynthesisConfig",
-    "SynthesisResult", "count_eliminated", "filter_candidates", "plausible",
+    "SynthesisResult", "clear_synthesis_memo", "count_eliminated",
+    "filter_candidates", "memoized_synthesize", "plausible",
     "result_from_dict", "result_to_dict", "select_priority_class",
-    "synthesize",
+    "synthesis_memo_stats", "synthesize",
 ]

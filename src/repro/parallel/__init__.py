@@ -1,7 +1,20 @@
-"""Parallel runtime: splitting, k-way combining, planning, execution."""
+"""Parallel runtime: splitting, k-way combining, planning, execution.
+
+Execution offers two data planes — the chunk-pipelined **streaming**
+plane (default; stages overlap via bounded queues of line-aligned
+chunks) and the paper-faithful **barrier** plane (full materialization
+between stages) — over three backends (``serial`` / ``threads`` /
+``processes``).
+"""
 
 from .combining import KWayCombiner
-from .executor import ParallelPipeline, RunStats, StageStats
+from .executor import (
+    BARRIER,
+    ParallelPipeline,
+    RunStats,
+    STREAMING,
+    StageStats,
+)
 from .planner import (
     PARALLEL,
     PipelinePlan,
@@ -14,10 +27,20 @@ from .planner import (
 )
 from .runner import PROCESSES, SERIAL, StageRunner, THREADS
 from .splitter import split_stream
+from .streaming import (
+    DEFAULT_QUEUE_DEPTH,
+    StageTrace,
+    merge_intervals,
+    overlap_seconds,
+    run_chunk_pipelined,
+)
 
 __all__ = [
-    "KWayCombiner", "PARALLEL", "PROCESSES", "ParallelPipeline",
-    "PipelinePlan", "RERUN_REDUCTION_THRESHOLD", "RunStats", "SEQUENTIAL",
-    "SERIAL", "StagePlan", "StageRunner", "StageStats", "THREADS",
-    "compile_pipeline", "plan_stage", "split_stream", "synthesize_pipeline",
+    "BARRIER", "DEFAULT_QUEUE_DEPTH", "KWayCombiner", "PARALLEL",
+    "PROCESSES", "ParallelPipeline", "PipelinePlan",
+    "RERUN_REDUCTION_THRESHOLD", "RunStats", "SEQUENTIAL", "SERIAL",
+    "STREAMING", "StagePlan", "StageRunner", "StageStats", "StageTrace",
+    "THREADS", "compile_pipeline", "merge_intervals", "overlap_seconds",
+    "plan_stage", "run_chunk_pipelined", "split_stream",
+    "synthesize_pipeline",
 ]

@@ -1,12 +1,22 @@
 """Execution of compiled parallel pipelines.
 
-Mirrors the paper's measurement infrastructure (section 4,
-*Experimental Setup*): every stage runs to completion before the next
-stage starts, the input stream is split into ``k`` line-aligned
-substreams for parallel stages, and combiners merge the parallel
-output substreams — except where the optimizer eliminated them, in
-which case substreams flow straight into the next parallel stage
-(Figure 5c).
+Two data planes share one compiled plan:
+
+* **streaming** (default) — stages exchange bounded queues of
+  line-aligned chunks, so stage *i+1* starts consuming while stage *i*
+  is still producing (:mod:`repro.parallel.streaming`).  This
+  generalizes the combiner-elimination fast path (Figure 5c) into the
+  default execution model.
+* **barrier** — the paper's measurement setup (section 4,
+  *Experimental Setup*): every stage runs to completion before the
+  next starts, the input stream is split into ``k`` line-aligned
+  substreams for parallel stages, and combiners merge the parallel
+  output substreams — except where the optimizer eliminated them, in
+  which case substreams flow straight into the next parallel stage.
+
+Both planes compute byte-identical output: the streaming engine makes
+the same splitting/combining decisions at the same stage boundaries,
+it just overlaps the work in time.
 """
 
 from __future__ import annotations
@@ -19,6 +29,11 @@ from ..core.dsl.semantics import EvalEnv
 from .planner import PipelinePlan, StagePlan
 from .runner import SERIAL, StageRunner
 from .splitter import split_stream
+from .streaming import StageTrace, overlap_seconds, run_chunk_pipelined
+
+#: data planes
+STREAMING = "streaming"
+BARRIER = "barrier"
 
 
 @dataclass
@@ -26,16 +41,41 @@ class StageStats:
     display: str
     mode: str
     eliminated: bool
-    chunks: int
-    seconds: float
+    chunks: int            # input chunks the stage command ran over
+    seconds: float         # barrier: stage wall time; streaming: busy time
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: wall-clock time this stage computed concurrently with its
+    #: predecessor (always 0.0 in the barrier plane and for stage 0)
+    overlap_seconds: float = 0.0
+
+    @property
+    def throughput_mbs(self) -> float:
+        """Output megabytes per busy second (0.0 when unmeasurable)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes_out / self.seconds / 1e6
 
 
 @dataclass
 class RunStats:
     k: int
     engine: str
+    data_plane: str = BARRIER
     seconds: float = 0.0
     stages: List[StageStats] = field(default_factory=list)
+
+    @property
+    def total_overlap(self) -> float:
+        return sum(s.overlap_seconds for s in self.stages)
+
+    @property
+    def bytes_in(self) -> int:
+        return self.stages[0].bytes_in if self.stages else 0
+
+    @property
+    def bytes_out(self) -> int:
+        return self.stages[-1].bytes_out if self.stages else 0
 
 
 class ParallelPipeline:
@@ -43,45 +83,104 @@ class ParallelPipeline:
 
     def __init__(self, plan: PipelinePlan, k: int = 4,
                  engine: str = SERIAL,
-                 runner: Optional[StageRunner] = None) -> None:
+                 runner: Optional[StageRunner] = None,
+                 streaming: bool = True,
+                 queue_depth: Optional[int] = None) -> None:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be positive, got {queue_depth}")
         self.plan = plan
         self.k = k
         self.engine = engine
+        self.streaming = streaming
+        self.queue_depth = queue_depth
         self._runner = runner
         self.last_stats: Optional[RunStats] = None
 
     def run(self, data: Optional[str] = None) -> str:
         """Execute the plan; returns the final output stream."""
+        if self.streaming:
+            return self.run_streaming(data)
+        return self.run_barrier(data)
+
+    # -- streaming data plane ------------------------------------------------
+
+    def run_streaming(self, data: Optional[str] = None) -> str:
+        """Execute with chunk-pipelined stages (bounded-queue data plane)."""
+        initial = self.plan.pipeline._initial_stream(data)
+        start = time.perf_counter()
+        output, traces = self._with_runner(
+            lambda runner: run_chunk_pipelined(
+                self.plan, self.k, runner, initial,
+                queue_depth=self.queue_depth))
+        stats = RunStats(k=self.k, engine=self.engine, data_plane=STREAMING,
+                         stages=self._fold_traces(traces))
+        stats.seconds = time.perf_counter() - start
+        self.last_stats = stats
+        return output
+
+    def _fold_traces(self, traces: List[StageTrace]) -> List[StageStats]:
+        stages = []
+        for i, (stage, trace) in enumerate(zip(self.plan.stages, traces)):
+            overlap = 0.0
+            if i > 0:
+                overlap = overlap_seconds(traces[i - 1].intervals,
+                                          trace.intervals)
+            stages.append(StageStats(
+                display=stage.command.display(), mode=stage.mode,
+                eliminated=stage.eliminated, chunks=trace.chunks,
+                seconds=trace.busy_seconds, bytes_in=trace.bytes_in,
+                bytes_out=trace.bytes_out, overlap_seconds=overlap))
+        return stages
+
+    # -- barrier data plane --------------------------------------------------
+
+    def run_barrier(self, data: Optional[str] = None) -> str:
+        """Execute stage-by-stage with full materialization between stages."""
         pipeline = self.plan.pipeline
         stream: Optional[str] = pipeline._initial_stream(data)
         chunks: Optional[List[str]] = None
-        stats = RunStats(k=self.k, engine=self.engine)
+        stats = RunStats(k=self.k, engine=self.engine, data_plane=BARRIER)
         start = time.perf_counter()
 
-        owned = self._runner is None
-        runner = self._runner or StageRunner(
-            engine=self.engine, max_workers=self.k, context=pipeline.context)
-        try:
+        def run_all(runner: StageRunner) -> str:
+            nonlocal stream, chunks
             for stage in self.plan.stages:
                 t0 = time.perf_counter()
-                stream, chunks = self._run_stage(stage, runner, stream, chunks)
+                bytes_in = len(stream or "") if chunks is None \
+                    else sum(len(c) for c in chunks)
+                stream, chunks, n_chunks = self._run_stage(
+                    stage, runner, stream, chunks)
+                bytes_out = len(stream or "") if chunks is None \
+                    else sum(len(c) for c in chunks)
                 stats.stages.append(StageStats(
                     display=stage.command.display(), mode=stage.mode,
-                    eliminated=stage.eliminated,
-                    chunks=len(chunks) if chunks is not None else 1,
-                    seconds=time.perf_counter() - t0))
+                    eliminated=stage.eliminated, chunks=n_chunks,
+                    seconds=time.perf_counter() - t0,
+                    bytes_in=bytes_in, bytes_out=bytes_out))
+            if chunks is not None:
+                # only reachable when the final stage's combiner was
+                # eliminated, which the planner never does; guard anyway
+                stream = "".join(chunks)
+            return stream if stream is not None else ""
+
+        output = self._with_runner(run_all)
+        stats.seconds = time.perf_counter() - start
+        self.last_stats = stats
+        return output
+
+    def _with_runner(self, fn):
+        owned = self._runner is None
+        runner = self._runner or StageRunner(
+            engine=self.engine, max_workers=self.k,
+            context=self.plan.pipeline.context)
+        try:
+            return fn(runner)
         finally:
             if owned:
                 runner.close()
-        if chunks is not None:
-            # only reachable when the final stage's combiner was
-            # eliminated, which the planner never does; guard anyway
-            stream = "".join(chunks)
-        stats.seconds = time.perf_counter() - start
-        self.last_stats = stats
-        return stream if stream is not None else ""
 
     def _run_stage(self, stage: StagePlan, runner: StageRunner,
                    stream: Optional[str], chunks: Optional[List[str]]):
@@ -89,14 +188,14 @@ class ParallelPipeline:
             if chunks is not None:
                 stream = "".join(chunks)  # upstream combiner was concat
                 chunks = None
-            return stage.command.run(stream or ""), None
+            return stage.command.run(stream or ""), None, 1
 
         if chunks is None:
             chunks = split_stream(stream or "", self.k)
         outputs = runner.run_stage(stage.command, chunks)
         if stage.eliminated:
-            return None, outputs
+            return None, outputs, len(chunks)
         env = EvalEnv(run_command=stage.command.run)
         combined = stage.combiner.combine(outputs, env) if stage.combiner \
             else "".join(outputs)
-        return combined, None
+        return combined, None, len(chunks)

@@ -21,6 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..core.inputgen.preprocess import seed_synthetic_files
+from ..core.synthesis.store import (
+    CombinerStore,
+    context_fingerprint,
+    memoized_synthesize,
+    synthesis_memo_key,
+)
 from ..core.synthesis.synthesizer import SynthesisConfig, SynthesisResult, synthesize
 from ..shell.command import Command
 from ..shell.pipeline import Pipeline
@@ -164,11 +171,59 @@ def synthesize_pipeline(
     pipeline: Pipeline,
     config: Optional[SynthesisConfig] = None,
     cache: Optional[Dict[Tuple[str, ...], SynthesisResult]] = None,
+    store: Optional["CombinerStore"] = None,
+    memoize: bool = True,
 ) -> Dict[Tuple[str, ...], SynthesisResult]:
-    """Synthesize combiners for every unique command in a pipeline."""
+    """Synthesize combiners for every unique command in a pipeline.
+
+    Three reuse layers, innermost first: the per-call ``cache`` dict
+    (shared across scripts, as in the paper's evaluation), the
+    process-wide memo (``memoize=True``; keyed by argv + backend +
+    config + context so hits are exact), and an optional persistent
+    ``store`` (consulted on memo misses and updated + saved with fresh
+    results).  ``memoize=False`` bypasses the in-memory memo but still
+    honors and fills a given ``store``.
+    """
     results: Dict[Tuple[str, ...], SynthesisResult] = cache if cache is not None else {}
+    pending = [cmd for cmd in pipeline.commands
+               if cmd.key() not in results]
+    memo_keys: Dict[Tuple[str, ...], tuple] = {}
+    if memoize and pending:
+        # fingerprint each to-be-synthesized stage against the pristine
+        # context before any synthesis runs: probing leaves artifacts in
+        # the shared virtual fs, and a stage's memo identity must not
+        # depend on earlier hits/misses; all stages share one context,
+        # so hash it once
+        context_fp = context_fingerprint(pending[0])
+        memo_keys = {cmd.key(): synthesis_memo_key(cmd, config,
+                                                   context_fp=context_fp)
+                     for cmd in pending}
+    store_dirty = False
     for cmd in pipeline.commands:
         key = cmd.key()
-        if key not in results:
+        if key in results:
+            continue
+        if memoize:
+            missing_from_store = store is not None and key not in store
+            results[key] = memoized_synthesize(cmd, config, store=store,
+                                               key=memo_keys[key])
+            # memoized_synthesize fills the store on misses and
+            # backfills it on memo hits, so this is exactly "did the
+            # store gain an entry"
+            store_dirty = store_dirty or missing_from_store
+        elif store is not None:
+            prior = store.get(key)
+            if prior is None:
+                prior = synthesize(cmd, config)
+                store.put(key, prior)
+                store_dirty = True
+            else:
+                # a store hit skips synthesis; replicate its one context
+                # side effect so warm and cold compiles run identically
+                seed_synthetic_files(cmd.context)
+            results[key] = prior
+        else:
             results[key] = synthesize(cmd, config)
+    if store is not None and store_dirty:
+        store.save()
     return results

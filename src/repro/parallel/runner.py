@@ -10,7 +10,8 @@ initializer so it is shipped once, not per task.
 from __future__ import annotations
 
 import concurrent.futures as cf
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..shell.command import Command
 from ..unixsim import ExecContext, build
@@ -31,6 +32,20 @@ def _init_worker(fs: Dict[str, str], env: Dict[str, str]) -> None:
 def _run_chunk(argv: List[str], chunk: str) -> str:
     ctx = _WORKER_CONTEXT if _WORKER_CONTEXT is not None else ExecContext()
     return build(argv).run(chunk, ctx)
+
+
+def _timed_call(fn: Callable[[str], str],
+                chunk: str) -> Tuple[str, float, float]:
+    t0 = time.perf_counter()
+    out = fn(chunk)
+    return out, t0, time.perf_counter()
+
+
+def _run_chunk_timed(argv: List[str],
+                     chunk: str) -> Tuple[str, float, float]:
+    t0 = time.perf_counter()
+    out = _run_chunk(argv, chunk)
+    return out, t0, time.perf_counter()
 
 
 class StageRunner:
@@ -87,3 +102,25 @@ class StageRunner:
         else:
             futures = [pool.submit(command.run, c) for c in chunks]
         return [f.result() for f in futures]
+
+    def submit_timed(self, command: Command,
+                     chunk: str) -> "cf.Future[Tuple[str, float, float]]":
+        """Dispatch one chunk, resolving to ``(output, start, end)``.
+
+        The busy interval is measured where the chunk actually runs (in
+        the worker thread or process); ``time.perf_counter`` is
+        system-wide on Linux, so intervals from process workers are
+        comparable with the parent's.  The streaming data plane uses
+        this to account per-stage overlap.
+        """
+        if self.engine == SERIAL:
+            future: cf.Future = cf.Future()
+            try:
+                future.set_result(_timed_call(command.run, chunk))
+            except BaseException as exc:  # noqa: BLE001 - mirror pool behavior
+                future.set_exception(exc)
+            return future
+        pool = self._ensure_pool()
+        if self.engine == PROCESSES and command.backend == "sim":
+            return pool.submit(_run_chunk_timed, command.argv, chunk)
+        return pool.submit(_timed_call, command.run, chunk)

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.synthesis.synthesizer import SynthesisConfig, SynthesisResult
-from ..parallel.executor import ParallelPipeline
+from ..parallel.executor import ParallelPipeline, RunStats
 from ..parallel.planner import PipelinePlan, compile_pipeline, synthesize_pipeline
 from ..parallel.runner import SERIAL, StageRunner
 from ..shell.pipeline import Pipeline
@@ -32,6 +32,12 @@ class ScriptRun:
     output: str
     seconds: float
     plans: List[PipelinePlan] = field(default_factory=list)
+    stats: List[RunStats] = field(default_factory=list)
+
+    @property
+    def total_overlap(self) -> float:
+        """Seconds of cross-stage compute overlap across all pipelines."""
+        return sum(s.total_overlap for s in self.stats)
 
     @property
     def parallelized(self) -> int:
@@ -79,15 +85,19 @@ def run_parallel(script: BenchmarkScript, scale: int, k: int,
                  optimize: bool = True,
                  cache: Optional[SynthCache] = None,
                  config: Optional[SynthesisConfig] = None,
-                 context: Optional[ExecContext] = None) -> ScriptRun:
+                 context: Optional[ExecContext] = None,
+                 streaming: bool = True) -> ScriptRun:
     """Synthesize, compile, and execute the script with k-way parallelism.
 
     Synthesis time is *not* included in the reported seconds (the paper
-    reports synthesis separately from pipeline execution).
+    reports synthesis separately from pipeline execution).  ``streaming``
+    selects the chunk-pipelined data plane (default) or the barrier
+    plane; per-pipeline :class:`RunStats` land in :attr:`ScriptRun.stats`.
     """
     context = context or build_context(script, scale, seed)
     cache = cache if cache is not None else {}
     plans: List[PipelinePlan] = []
+    stats: List[RunStats] = []
     chunks: List[str] = []
     elapsed = 0.0
     for sp in script.pipelines:
@@ -101,14 +111,18 @@ def run_parallel(script: BenchmarkScript, scale: int, k: int,
         # intermediate files between pipelines
         runner = StageRunner(engine=engine, max_workers=k, context=context)
         try:
-            pp = ParallelPipeline(plan, k=k, engine=engine, runner=runner)
+            pp = ParallelPipeline(plan, k=k, engine=engine, runner=runner,
+                                  streaming=streaming)
             start = time.perf_counter()
             out = pp.run()
             elapsed += time.perf_counter() - start
         finally:
             runner.close()
+        if pp.last_stats is not None:
+            stats.append(pp.last_stats)
         if sp.output_file is not None:
             context.fs[sp.output_file] = out
         else:
             chunks.append(out)
-    return ScriptRun(output="".join(chunks), seconds=elapsed, plans=plans)
+    return ScriptRun(output="".join(chunks), seconds=elapsed, plans=plans,
+                     stats=stats)

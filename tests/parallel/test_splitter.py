@@ -45,3 +45,41 @@ class TestSplitStream:
     def test_invalid_k(self):
         with pytest.raises(ValueError):
             split_stream("a\n", 0)
+
+
+class TestSplitStreamEdgeCases:
+    def test_empty_input_any_k(self):
+        for k in (1, 2, 100):
+            assert split_stream("", k) == [""]
+
+    def test_single_line_no_newline(self):
+        assert split_stream("lonely", 8) == ["lonely"]
+
+    def test_single_newline_only(self):
+        assert split_stream("\n", 4) == ["\n"]
+
+    def test_no_trailing_newline_round_trip(self):
+        data = "a\nbb\nccc\ndddd\neeeee"
+        for k in (2, 3, 4, 10):
+            pieces = split_stream(data, k)
+            assert "".join(pieces) == data
+            for piece in pieces[:-1]:
+                assert piece.endswith("\n")
+
+    def test_k_far_exceeds_line_count(self):
+        data = "a\nb\nc\n"
+        pieces = split_stream(data, 1000)
+        assert "".join(pieces) == data
+        assert len(pieces) <= 3
+
+    def test_one_giant_line_among_small(self):
+        data = "x\n" + "y" * 10_000 + "\n" + "z\n"
+        pieces = split_stream(data, 3)
+        assert "".join(pieces) == data
+        for piece in pieces[:-1]:
+            assert piece.endswith("\n")
+
+    def test_whitespace_only_lines(self):
+        data = " \n\t\n  \n" * 10
+        pieces = split_stream(data, 4)
+        assert "".join(pieces) == data

@@ -1,0 +1,259 @@
+"""Streaming (chunk-pipelined) data plane: correctness and accounting."""
+
+import pytest
+
+from repro import parallelize
+from repro.parallel import (
+    BARRIER,
+    PROCESSES,
+    ParallelPipeline,
+    SERIAL,
+    STREAMING,
+    THREADS,
+    merge_intervals,
+    overlap_seconds,
+)
+from repro.parallel.streaming import (
+    MIN_CHUNK_BYTES,
+    OVERSPLIT,
+    split_count,
+    stream_chunk_count,
+)
+from repro.shell import Pipeline
+from repro.unixsim import ExecContext
+
+TEXT = ("the quick Brown fox\nthe lazy dog THE\n" * 40 +
+        "And he said light\n" * 10)
+WF = "cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn"
+
+
+def serial_output(pipeline_text, files, env=None):
+    ctx = ExecContext(fs=dict(files), env=dict(env or {}))
+    return Pipeline.from_string(pipeline_text, env=env, context=ctx).run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("engine", [SERIAL, THREADS, PROCESSES])
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_wf_matches_serial(self, engine, k, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=k, files=files, engine=engine,
+                         config=fast_config)
+        assert pp.streaming
+        assert pp.run() == serial_output(WF, files)
+
+    @pytest.mark.parametrize("engine", [SERIAL, THREADS])
+    def test_streaming_matches_barrier(self, engine, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, engine=engine,
+                         config=fast_config)
+        assert pp.run_streaming() == pp.run_barrier()
+
+    def test_sequential_after_parallel(self, fast_config):
+        text = "cat in.txt | sort | sed 1d | uniq"
+        files = {"in.txt": "b\na\nb\nc\n"}
+        pp = parallelize(text, k=4, files=files, config=fast_config)
+        assert pp.plan.stages[1].mode == "sequential"
+        assert pp.run() == serial_output(text, files)
+
+    def test_unoptimized_plan(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, optimize=False,
+                         config=fast_config)
+        assert pp.run() == serial_output(WF, files)
+
+    def test_empty_input(self, fast_config):
+        pp = parallelize("sort | uniq", k=3, config=fast_config)
+        assert pp.run("") == ""
+
+    def test_explicit_data_argument(self, fast_config):
+        pp = parallelize("sort | uniq", k=2, config=fast_config)
+        assert pp.run("b\na\nb\nb\n") == "a\nb\n"
+
+    def test_no_stages_returns_input(self, fast_config):
+        files = {"in.txt": "x\ny\n"}
+        pp = parallelize("cat in.txt", k=2, files=files, config=fast_config)
+        assert pp.run() == "x\ny\n"
+
+    def test_eliminated_final_stage_guard(self, fast_config):
+        # the planner never eliminates the final combiner; force it to
+        # exercise the executor's join-at-exit guard on both planes
+        files = {"in.txt": TEXT}
+        pp = parallelize("cat in.txt | tr A-Z a-z | sort", k=4, files=files,
+                         config=fast_config)
+        expected = serial_output("cat in.txt | tr A-Z a-z | sort", files)
+        pp.plan.stages[-1].eliminated = True
+        streamed = pp.run_streaming()
+        barriered = pp.run_barrier()
+        # both planes join the leftover substreams instead of combining
+        assert streamed == barriered
+        assert sorted(streamed.splitlines()) == sorted(expected.splitlines())
+
+    def test_queue_depth_one_still_correct(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, engine=THREADS,
+                         config=fast_config, queue_depth=1)
+        assert pp.run() == serial_output(WF, files)
+
+    def test_invalid_queue_depth_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="queue_depth"):
+            parallelize("sort", k=2, config=fast_config, queue_depth=0)
+
+
+class TestErrorPropagation:
+    @pytest.mark.parametrize("engine", [SERIAL, THREADS])
+    def test_stage_failure_raises(self, engine, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, engine=engine,
+                         config=fast_config)
+
+        def boom(data):
+            raise RuntimeError("stage exploded")
+
+        pp.plan.stages[2].command.run = boom
+        with pytest.raises(RuntimeError, match="stage exploded"):
+            pp.run()
+
+
+class TestAccounting:
+    def test_stats_recorded(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, config=fast_config)
+        pp.run()
+        stats = pp.last_stats
+        assert stats is not None
+        assert stats.data_plane == STREAMING
+        assert len(stats.stages) == 5
+        assert stats.seconds > 0
+        assert stats.bytes_in == len(TEXT)
+        assert stats.bytes_out == len(serial_output(WF, files))
+        for s in stats.stages:
+            assert s.bytes_in > 0
+            assert s.chunks >= 1
+
+    def test_barrier_stats_recorded(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, streaming=False,
+                         config=fast_config)
+        pp.run()
+        stats = pp.last_stats
+        assert stats.data_plane == BARRIER
+        assert stats.total_overlap == 0.0
+        assert stats.bytes_in == len(TEXT)
+        assert [s.chunks for s in stats.stages][0] == 1  # sequential tr -cs
+
+    def test_serial_engine_has_zero_overlap(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, engine=SERIAL,
+                         config=fast_config)
+        pp.run()
+        assert pp.last_stats.total_overlap == 0.0
+
+    def test_bytes_conserved_through_eliminated_stage(self, fast_config):
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, config=fast_config)
+        pp.run()
+        stages = pp.last_stats.stages
+        tr_stage = stages[1]          # tr A-Z a-z: eliminated, 1:1 bytes
+        assert tr_stage.eliminated
+        assert tr_stage.bytes_out == tr_stage.bytes_in
+        # its output chunks feed sort directly
+        assert stages[2].bytes_in == tr_stage.bytes_out
+
+
+class TestChunkPolicy:
+    def test_small_streams_not_oversplit(self):
+        assert stream_chunk_count(1000, 4) == 4
+        assert stream_chunk_count(0, 2) == 2
+
+    def test_large_streams_oversplit(self):
+        nbytes = MIN_CHUNK_BYTES * 100
+        assert stream_chunk_count(nbytes, 4) == 4 * OVERSPLIT
+
+    def test_oversplit_capped_by_min_chunk_size(self):
+        nbytes = int(MIN_CHUNK_BYTES * 2.5)
+        assert stream_chunk_count(nbytes, 2) == 2
+
+    def test_k1_never_oversplits(self):
+        # k=1 means no parallelism: a rerun combiner over oversplit
+        # chunks would process the stream twice for nothing
+        assert stream_chunk_count(MIN_CHUNK_BYTES * 100, 1) == 1
+
+    def test_generic_combiner_sink_disables_oversplit(self, fast_config):
+        # uniq -c combines with a pairwise stitch fold whose cost grows
+        # with chunk count; the decomposition feeding it must stay at k
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, config=fast_config)
+        stages = pp.plan.stages
+        uniq_index = next(i for i, s in enumerate(stages)
+                          if s.command.name == "uniq")
+        big = MIN_CHUNK_BYTES * 100
+        assert split_count(stages, uniq_index, 4, big) == 4
+        sort_index = uniq_index - 1  # merge combiner: cheap k-way
+        assert split_count(stages, sort_index, 4, big) == 4 * OVERSPLIT
+
+    def test_eliminated_chain_inherits_consumer_policy(self, fast_config):
+        # tr A-Z a-z is eliminated into sort (merge): oversplit is fine
+        files = {"in.txt": TEXT}
+        pp = parallelize(WF, k=4, files=files, config=fast_config)
+        stages = pp.plan.stages
+        tr_index = next(i for i, s in enumerate(stages) if s.eliminated)
+        big = MIN_CHUNK_BYTES * 100
+        assert split_count(stages, tr_index, 4, big) == 4 * OVERSPLIT
+
+
+class TestIntervalMath:
+    def test_merge_intervals(self):
+        assert merge_intervals([(3, 4), (1, 2), (1.5, 2.5)]) == \
+            [(1, 2.5), (3, 4)]
+        assert merge_intervals([]) == []
+
+    def test_overlap_seconds(self):
+        a = [(0.0, 1.0), (2.0, 3.0)]
+        b = [(0.5, 2.5)]
+        assert overlap_seconds(a, b) == pytest.approx(1.0)
+        assert overlap_seconds(a, []) == 0.0
+        assert overlap_seconds([(0, 1)], [(1, 2)]) == 0.0
+
+
+class TestExamplePipelines:
+    """Acceptance: streaming output is byte-identical to barrier output
+    on every pipeline shipped under ``examples/`` (at reduced scale)."""
+
+    @staticmethod
+    def _example_pipeline(module_name):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "examples" / \
+            f"{module_name}.py"
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.PIPELINE
+
+    def _check(self, text, files, env, fast_config):
+        pp = parallelize(text, k=4, files=files, env=env, config=fast_config)
+        streamed = pp.run_streaming()
+        assert streamed == pp.run_barrier()
+        assert streamed == serial_output(text, files, env=env)
+
+    def test_quickstart(self, fast_config):
+        from repro.workloads import datagen
+        text = self._example_pipeline("quickstart")
+        self._check(text, {"input.txt": datagen.book_text(400, seed=42)},
+                    {"IN": "input.txt"}, fast_config)
+
+    def test_spell_checker(self, fast_config):
+        from repro.workloads import datagen
+        text = self._example_pipeline("spell_checker")
+        doc = datagen.book_text(250, seed=3) + "teh quikc borwn foks\n"
+        self._check(text, {"doc.txt": doc,
+                           "dict.txt": datagen.dictionary_file()},
+                    {"IN": "doc.txt", "dict": "dict.txt"}, fast_config)
+
+    def test_transit_analytics(self, fast_config):
+        from repro.workloads import datagen
+        text = self._example_pipeline("transit_analytics")
+        self._check(text, {"telemetry.csv": datagen.transit_csv(800, seed=7)},
+                    {"IN": "telemetry.csv"}, fast_config)

@@ -1,14 +1,19 @@
-"""Persistent combiner-store tests."""
+"""Persistent combiner-store and synthesis-memo tests."""
 
 import pytest
 
 from repro.core.synthesis import (
     CombinerStore,
+    clear_synthesis_memo,
+    memoized_synthesize,
     result_from_dict,
     result_to_dict,
+    synthesis_memo_stats,
     synthesize,
 )
+from repro.core.synthesis.store import synthesis_memo_key
 from repro.shell import Command
+from repro.unixsim import ExecContext
 
 
 @pytest.fixture(scope="module")
@@ -80,3 +85,141 @@ class TestStore:
         path.write_text('{"schema": 99, "entries": []}')
         with pytest.raises(ValueError):
             CombinerStore(path)
+
+
+@pytest.fixture()
+def fresh_memo():
+    clear_synthesis_memo()
+    yield
+    clear_synthesis_memo()
+
+
+class TestSynthesisMemo:
+    def test_second_synthesis_is_a_hit(self, fresh_memo, fast_config):
+        first = memoized_synthesize(Command(["sort"]), fast_config)
+        second = memoized_synthesize(Command(["sort"]), fast_config)
+        assert second is first
+        assert synthesis_memo_stats() == {"hits": 1, "misses": 1}
+
+    def test_different_config_is_a_miss(self, fresh_memo, fast_config,
+                                        tiny_config):
+        memoized_synthesize(Command(["sort"]), fast_config)
+        memoized_synthesize(Command(["sort"]), tiny_config)
+        assert synthesis_memo_stats()["misses"] == 2
+
+    def test_different_context_is_a_miss(self, fresh_memo, fast_config):
+        a = Command(["sort"], context=ExecContext(fs={"f": "x\n"}))
+        b = Command(["sort"], context=ExecContext(fs={"f": "y\n"}))
+        assert synthesis_memo_key(a, fast_config) != \
+            synthesis_memo_key(b, fast_config)
+
+    def test_store_feeds_memo(self, fresh_memo, tmp_path, sort_result,
+                              fast_config):
+        store = CombinerStore(tmp_path / "c.json")
+        store.put(("sort", "-rn"), sort_result)
+        got = memoized_synthesize(Command(["sort", "-rn"]), fast_config,
+                                  store=store)
+        assert got is sort_result
+        assert synthesis_memo_stats() == {"hits": 1, "misses": 0}
+
+    def test_fresh_result_written_to_store(self, fresh_memo, tmp_path,
+                                           fast_config):
+        store = CombinerStore(tmp_path / "c.json")
+        memoized_synthesize(Command(["sort"]), fast_config, store=store)
+        assert ("sort",) in store
+
+    def test_memo_hit_backfills_store(self, fresh_memo, tmp_path,
+                                      fast_config):
+        memoized_synthesize(Command(["sort"]), fast_config)  # warm memo
+        store = CombinerStore(tmp_path / "c.json")
+        memoized_synthesize(Command(["sort"]), fast_config, store=store)
+        assert ("sort",) in store
+
+    def test_memoize_off_with_empty_store(self, fresh_memo, tmp_path,
+                                          fast_config):
+        from repro.parallel import synthesize_pipeline
+        from repro.shell import Pipeline
+        from repro.unixsim import ExecContext
+
+        ctx = ExecContext(fs={"in.txt": "b\na\n"})
+        p = Pipeline.from_string("cat in.txt | sort", context=ctx)
+        store = CombinerStore(tmp_path / "c.json")  # empty, falsy
+        results = synthesize_pipeline(p, config=fast_config, store=store,
+                                      memoize=False)
+        assert ("sort",) in results
+        assert ("sort",) in store
+
+    def test_no_save_when_store_complete(self, fresh_memo, tmp_path,
+                                         fast_config):
+        from repro.parallel import synthesize_pipeline
+        from repro.shell import Pipeline
+        from repro.unixsim import ExecContext
+
+        ctx = ExecContext(fs={"in.txt": "b\na\n"})
+        p = Pipeline.from_string("cat in.txt | sort", context=ctx)
+        store = CombinerStore(tmp_path / "c.json")
+        synthesize_pipeline(p, config=fast_config, store=store)
+        saves = []
+        store.save = lambda: saves.append(1)
+        p2 = Pipeline.from_string(
+            "cat in.txt | sort",
+            context=ExecContext(fs={"in.txt": "b\na\n"}))
+        synthesize_pipeline(p2, config=fast_config, store=store)
+        assert saves == []
+
+    def test_memoize_off_bypasses_memory_memo(self, fresh_memo, tmp_path,
+                                              fast_config):
+        from repro.parallel import synthesize_pipeline
+        from repro.shell import Pipeline
+        from repro.unixsim import ExecContext
+
+        memoized_synthesize(Command(["sort"]), fast_config)  # warm memo
+        before = synthesis_memo_stats()
+        ctx = ExecContext(fs={"in.txt": "b\na\n"})
+        p = Pipeline.from_string("cat in.txt | sort", context=ctx)
+        store = CombinerStore(tmp_path / "c.json")
+        synthesize_pipeline(p, config=fast_config, store=store,
+                            memoize=False)
+        assert synthesis_memo_stats() == before  # memo untouched
+        assert ("sort",) in store                # store still filled
+        seeded = set(ctx.fs)
+        # a warm (store-hit) compile must leave an identical context
+        ctx2 = ExecContext(fs={"in.txt": "b\na\n"})
+        p2 = Pipeline.from_string("cat in.txt | sort", context=ctx2)
+        synthesize_pipeline(p2, config=fast_config, store=store,
+                            memoize=False)
+        assert set(ctx2.fs) == seeded
+
+    def test_memo_hit_seeds_probe_files_like_cold_run(self, fresh_memo,
+                                                      fast_config):
+        # cold synthesis seeds kq_*.txt probe files into the shared fs;
+        # a warm compile must leave the context in the same state
+        cold = ExecContext(fs={})
+        memoized_synthesize(Command(["sort"], context=cold), fast_config)
+        warm = ExecContext(fs={})
+        memoized_synthesize(Command(["sort"], context=warm), fast_config)
+        assert synthesis_memo_stats()["hits"] == 1
+        assert set(warm.fs) == set(cold.fs)
+
+    def test_memo_capacity_is_bounded(self, fresh_memo, monkeypatch):
+        from repro.core.synthesis import store as store_mod
+
+        monkeypatch.setattr(store_mod, "MEMO_CAPACITY", 3)
+        for i in range(10):
+            store_mod._memo_put((f"key{i}",), object())
+        assert len(store_mod._MEMO) == 3
+        assert (f"key9",) in store_mod._MEMO
+        assert (f"key0",) not in store_mod._MEMO
+
+    def test_pipeline_compile_hits_memo(self, fresh_memo, fast_config):
+        from repro import parallelize
+
+        files = {"in.txt": "b\na\n"}
+        parallelize("cat in.txt | sort | uniq", k=2, files=files,
+                    config=fast_config)
+        baseline = synthesis_memo_stats()
+        parallelize("cat in.txt | sort | uniq", k=2, files=files,
+                    config=fast_config)
+        after = synthesis_memo_stats()
+        assert after["misses"] == baseline["misses"]
+        assert after["hits"] == baseline["hits"] + 2

@@ -33,6 +33,25 @@ def test_synthesize_with_store(tmp_path, capsys):
     assert "(cached)" in out
 
 
+def test_synthesize_cached_failure_keeps_nonzero_exit(tmp_path, capsys):
+    store = tmp_path / "combiners.json"
+    rc = main(["--seed", "7", "synthesize", "sed 1d", "--store", str(store)])
+    assert rc == 1
+    rc = main(["--seed", "7", "synthesize", "sed 1d", "--store", str(store)])
+    out = capsys.readouterr().out
+    assert "(cached)" in out
+    assert rc == 1
+
+
+def test_corrupt_store_rejected_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("garbage{")
+    with pytest.raises(SystemExit) as exc:
+        main(["synthesize", "sort", "--store", str(bad)])
+    assert exc.value.code == 2
+    assert "cannot load combiner store" in capsys.readouterr().err
+
+
 def test_explain(tmp_path, capsys):
     f = tmp_path / "in.txt"
     f.write_text("b\na\nb\n")
