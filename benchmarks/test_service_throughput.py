@@ -1,0 +1,59 @@
+"""Service throughput and latency: cold vs warm plan cache.
+
+Drives an in-process daemon with the benchmark suites through N
+concurrent tenant clients and records jobs/sec and p50/p99 latency.
+The first pass compiles every distinct pipeline (plan-cache misses);
+subsequent passes replay the identical jobs against the warm cache —
+the amortization a resident service exists for.
+"""
+
+from repro.evaluation.performance import measure_service, service_table
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService, ServiceConfig
+from repro.workloads import datagen
+from repro.workloads.scripts import ALL_SCRIPTS
+
+WANTED = {"sort.sh", "wf.sh", "spell.sh", "top_words.sh"}
+
+
+def test_service_throughput_cold_vs_warm(capsys, synth_config):
+    scripts = [s for s in ALL_SCRIPTS if s.name in WANTED][:3] \
+        or ALL_SCRIPTS[:3]
+    measurements = measure_service(
+        scripts, scale=60, clients=4, concurrency=4, repeats=3,
+        config=synth_config, engine="threads")
+    assert all(m.outputs_identical and m.failures == 0
+               for m in measurements)
+    cold, warm = measurements[0], measurements[-1]
+    assert cold.label == "cold" and cold.cache_hit_rate == 0.0
+    assert warm.label == "warm" and warm.cache_hit_rate == 1.0
+    # the whole point of the resident service: warm jobs skip
+    # synthesis/compilation entirely
+    assert warm.jobs_per_second > cold.jobs_per_second
+    assert warm.p50_seconds <= cold.p50_seconds
+    with capsys.disabled():
+        print()
+        print(service_table(measurements))
+
+
+def test_warm_job_latency(benchmark, synth_config):
+    """Submit-to-done latency of one warm job through the full HTTP path."""
+    service = ReproService(ServiceConfig(
+        concurrency=2, config_factory=lambda _request: synth_config))
+    service.start_http()
+    try:
+        client = ServiceClient(service.url, client_id="bench")
+        files = {"input.txt": datagen.book_text(4000, seed=5)}
+
+        def run():
+            return client.run("cat $IN | tr A-Z a-z | sort | uniq -c",
+                              files=files, env={"IN": "input.txt"},
+                              k=4, engine="threads")
+
+        first = run()             # cold: compile + cache the plan
+        assert first.status == "done"
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.status == "done"
+        assert result.plan_cache == "hit"
+    finally:
+        service.stop()

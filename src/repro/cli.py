@@ -2,9 +2,14 @@
 
 ::
 
-    python -m repro.cli synthesize "uniq -c"
-    python -m repro.cli explain "cat in.txt | sort | uniq -c" --file in.txt
-    python -m repro.cli run "cat in.txt | sort | uniq -c" --file in.txt -k 4
+    repro synthesize "uniq -c"
+    repro explain "cat in.txt | sort | uniq -c" --file in.txt
+    repro run "cat in.txt | sort | uniq -c" --file in.txt -k 4
+    repro serve --port 7070 --concurrency 4 --store combiners.json
+    repro submit "cat in.txt | sort | uniq -c" --file in.txt -k 4
+    repro status
+
+(also reachable as ``python -m repro`` or ``python -m repro.cli``).
 
 Subcommands:
 
@@ -14,19 +19,28 @@ Subcommands:
   parallel plan without running it.
 * ``run PIPELINE`` — compile and execute the pipeline with ``-k``-way
   parallelism, writing the output stream to stdout (or ``--output``).
+* ``serve`` — run the resident parallelization daemon: jobs are
+  accepted over a local HTTP API, scheduled fair-share across clients,
+  and served from a shared compiled-plan cache.
+* ``submit PIPELINE`` — send one job to a running daemon and print its
+  output (``--no-wait`` to only print the job id).
+* ``status`` — print a running daemon's status counters as JSON.
 
 Files referenced by the pipeline are loaded from the real filesystem
 into the sandboxed virtual filesystem with ``--file PATH`` (repeatable).
 Execution uses the chunk-pipelined streaming data plane by default;
-``--barrier`` restores the paper's stage-at-a-time materialization, and
-``--stats`` prints per-stage throughput and overlap accounting.
-``--store combiners.json`` persists synthesis results so repeated runs
-skip re-synthesis.
+``--barrier`` restores the paper's stage-at-a-time materialization,
+``--stats`` prints per-stage throughput and overlap accounting, and
+``--stats-json PATH`` writes the same accounting as machine-readable
+JSON (``-`` for stderr) — the service's job results carry the identical
+serialization.  ``--store combiners.json`` persists synthesis results
+so repeated runs (and daemon restarts) skip re-synthesis.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Dict, List, Optional
@@ -42,6 +56,18 @@ def _load_files(paths: List[str]) -> Dict[str, str]:
         with open(path, "r") as fh:
             fs[os.path.basename(path)] = fh.read()
     return fs
+
+
+def _parse_env(pairs: Optional[List[str]]) -> Dict[str, str]:
+    env: Dict[str, str] = {}
+    for kv in pairs or []:
+        name, sep, value = kv.partition("=")
+        if not sep or not name:
+            print(f"error: --env expects NAME=VALUE, got {kv!r}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        env[name] = value
+    return env
 
 
 def _config(args) -> SynthesisConfig:
@@ -89,7 +115,7 @@ def _open_store(path: Optional[str]) -> Optional[CombinerStore]:
 
 def _build(args):
     files = _load_files(args.file or [])
-    env = dict(kv.split("=", 1) for kv in (args.env or []))
+    env = _parse_env(args.env)
     return parallelize(args.pipeline, k=args.k, files=files, env=env,
                        engine=args.engine, optimize=not args.no_optimize,
                        config=_config(args), store=_open_store(args.store),
@@ -106,6 +132,28 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _emit_stats_json(stats, destination: str) -> None:
+    payload = json.dumps(stats.to_dict(), indent=1)
+    if destination == "-":
+        print(payload, file=sys.stderr)
+    else:
+        with open(destination, "w") as fh:
+            fh.write(payload + "\n")
+
+
+def _print_stats(stats) -> None:
+    for s in stats.stages:
+        print(f"# {s.display[:40]:40s} {s.mode:11s} "
+              f"chunks={s.chunks} in={s.bytes_in}B out={s.bytes_out}B "
+              f"{s.seconds:.3f}s overlap={s.overlap_seconds:.3f}s "
+              f"({s.throughput_mbs:.1f} MB/s)", file=sys.stderr)
+    print(f"# total {stats.seconds:.3f}s "
+          f"overlap={stats.total_overlap:.3f}s "
+          f"(k={stats.k}, engine={stats.engine}, "
+          f"plane={stats.data_plane})",
+          file=sys.stderr)
+
+
 def cmd_run(args) -> int:
     pp = _build(args)
     out = pp.run()
@@ -114,18 +162,91 @@ def cmd_run(args) -> int:
             fh.write(out)
     else:
         sys.stdout.write(out)
-    if args.stats and pp.last_stats:
-        stats = pp.last_stats
-        for s in stats.stages:
-            print(f"# {s.display[:40]:40s} {s.mode:11s} "
-                  f"chunks={s.chunks} in={s.bytes_in}B out={s.bytes_out}B "
-                  f"{s.seconds:.3f}s overlap={s.overlap_seconds:.3f}s "
-                  f"({s.throughput_mbs:.1f} MB/s)", file=sys.stderr)
-        print(f"# total {stats.seconds:.3f}s "
-              f"overlap={stats.total_overlap:.3f}s "
-              f"(k={stats.k}, engine={stats.engine}, "
-              f"plane={stats.data_plane})",
+    if pp.last_stats:
+        if args.stats:
+            _print_stats(pp.last_stats)
+        if args.stats_json:
+            _emit_stats_json(pp.last_stats, args.stats_json)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# service subcommands
+
+
+def _default_server() -> str:
+    return os.environ.get("REPRO_SERVER", "http://127.0.0.1:7070")
+
+
+def cmd_serve(args) -> int:
+    from .service.server import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, concurrency=args.concurrency,
+        max_queued=args.max_queued, plan_cache_capacity=args.plan_cache_size,
+        store_path=args.store,
+        max_request_bytes=args.max_request_mb * 1024 * 1024)
+
+    def announce(service) -> None:
+        print(f"repro service listening on {service.url} "
+              f"(concurrency={args.concurrency}, "
+              f"plan-cache={args.plan_cache_size}"
+              f"{', store=' + args.store if args.store else ''})",
+              flush=True)
+
+    return serve_forever(config, ready=announce)
+
+
+def cmd_submit(args) -> int:
+    from .service.client import ServiceClient, ServiceUnavailable
+    from .service.protocol import ValidationError
+
+    files = _load_files(args.file or [])
+    env = _parse_env(args.env)
+    client = ServiceClient(args.server, client_id=args.client_id,
+                           timeout=args.timeout)
+    try:
+        job_id = client.submit(
+            args.pipeline, files=files, env=env, k=args.k,
+            engine=args.engine, streaming=not args.barrier,
+            optimize=not args.no_optimize, queue_depth=args.queue_depth,
+            max_size=args.max_size, seed=args.seed)
+        if args.no_wait:
+            print(job_id)
+            return 0
+        result = client.wait(job_id, timeout=args.timeout)
+    except (ServiceUnavailable, ValidationError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.status != "done":
+        print(f"job {result.job_id} {result.status}: {result.error}",
               file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(result.output or "")
+    else:
+        sys.stdout.write(result.output or "")
+    if result.stats is not None:
+        if args.stats:
+            _print_stats(result.stats)
+            print(f"# plan cache: {result.plan_cache}, "
+                  f"waited {result.wait_seconds:.3f}s, "
+                  f"ran {result.run_seconds:.3f}s", file=sys.stderr)
+        if args.stats_json:
+            _emit_stats_json(result.stats, args.stats_json)
+    return 0
+
+
+def cmd_status(args) -> int:
+    from .service.client import ServiceClient, ServiceUnavailable
+
+    try:
+        status = ServiceClient(args.server, timeout=args.timeout).status()
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(status, indent=1))
     return 0
 
 
@@ -165,7 +286,58 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--output", help="write output here, not stdout")
             p.add_argument("--stats", action="store_true",
                            help="print per-stage timings to stderr")
+            p.add_argument("--stats-json", metavar="PATH",
+                           help="write RunStats as JSON to PATH "
+                                "('-' for stderr)")
         p.set_defaults(func=func)
+
+    sv = sub.add_parser("serve", help="run the parallelization daemon")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7070,
+                    help="listen port (0 picks an ephemeral one)")
+    sv.add_argument("--concurrency", type=int, default=2,
+                    help="jobs executing at once")
+    sv.add_argument("--max-queued", type=int, default=256,
+                    help="admission bound on queued jobs")
+    sv.add_argument("--plan-cache-size", type=int, default=128,
+                    help="compiled plans kept before LRU eviction")
+    sv.add_argument("--store",
+                    help="persistent combiner store for warm starts")
+    sv.add_argument("--max-request-mb", type=int, default=64,
+                    help="largest request (pipeline + files) accepted")
+    sv.set_defaults(func=cmd_serve)
+
+    sb = sub.add_parser("submit", help="submit one job to a running daemon")
+    sb.add_argument("pipeline")
+    sb.add_argument("--server", default=_default_server(),
+                    help="daemon address (default $REPRO_SERVER or "
+                         "http://127.0.0.1:7070)")
+    sb.add_argument("--client-id", default=os.environ.get("USER", "cli"),
+                    help="fair-share scheduling identity")
+    sb.add_argument("-k", type=int, default=4, help="parallelism degree")
+    sb.add_argument("--file", action="append",
+                    help="load a real file into the job's virtual fs")
+    sb.add_argument("--env", action="append", metavar="NAME=VALUE")
+    sb.add_argument("--engine", default="serial",
+                    choices=("serial", "threads", "processes"))
+    sb.add_argument("--no-optimize", action="store_true")
+    sb.add_argument("--barrier", action="store_true")
+    sb.add_argument("--queue-depth", type=int, default=None)
+    sb.add_argument("--timeout", type=float, default=120.0,
+                    help="seconds to wait for the result")
+    sb.add_argument("--no-wait", action="store_true",
+                    help="print the job id instead of waiting")
+    sb.add_argument("--output", help="write output here, not stdout")
+    sb.add_argument("--stats", action="store_true",
+                    help="print per-stage timings to stderr")
+    sb.add_argument("--stats-json", metavar="PATH",
+                    help="write RunStats as JSON to PATH ('-' for stderr)")
+    sb.set_defaults(func=cmd_submit)
+
+    st = sub.add_parser("status", help="print a running daemon's counters")
+    st.add_argument("--server", default=_default_server())
+    st.add_argument("--timeout", type=float, default=10.0)
+    st.set_defaults(func=cmd_status)
     return ap
 
 

@@ -81,25 +81,37 @@ def result_from_dict(data: dict) -> SynthesisResult:
 
 
 class CombinerStore:
-    """A JSON-backed map from command argv to synthesis results."""
+    """A JSON-backed map from command argv to synthesis results.
+
+    Safe for concurrent use from multiple threads (a resident service
+    compiles many pipelines against one store): lookups and updates are
+    guarded by an internal lock, and :meth:`save` writes the JSON
+    atomically (temp file + rename) so a reader never observes a
+    half-written store.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._results: Dict[Tuple[str, ...], SynthesisResult] = {}
+        self._lock = threading.RLock()
         if self.path.exists():
             self.load()
 
     def __len__(self) -> int:
-        return len(self._results)
+        with self._lock:
+            return len(self._results)
 
     def __contains__(self, key: Tuple[str, ...]) -> bool:
-        return tuple(key) in self._results
+        with self._lock:
+            return tuple(key) in self._results
 
     def get(self, key: Tuple[str, ...]) -> Optional[SynthesisResult]:
-        return self._results.get(tuple(key))
+        with self._lock:
+            return self._results.get(tuple(key))
 
     def put(self, key: Tuple[str, ...], result: SynthesisResult) -> None:
-        self._results[tuple(key)] = result
+        with self._lock:
+            self._results[tuple(key)] = result
 
     def as_cache(self) -> Dict[Tuple[str, ...], SynthesisResult]:
         """A mutable view usable as the ``results=`` synthesis cache."""
@@ -108,25 +120,29 @@ class CombinerStore:
     # -- persistence ---------------------------------------------------------
 
     def save(self) -> None:
-        payload = {
-            "schema": _SCHEMA_VERSION,
-            "entries": [
-                {"argv": list(key), "result": result_to_dict(res)}
-                for key, res in sorted(self._results.items())
-            ],
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(payload, indent=1))
+        with self._lock:
+            payload = {
+                "schema": _SCHEMA_VERSION,
+                "entries": [
+                    {"argv": list(key), "result": result_to_dict(res)}
+                    for key, res in sorted(self._results.items())
+                ],
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(json.dumps(payload, indent=1))
+            tmp.replace(self.path)
 
     def load(self) -> None:
         payload = json.loads(self.path.read_text())
         if payload.get("schema") != _SCHEMA_VERSION:
             raise ValueError(
                 f"unsupported combiner-store schema: {payload.get('schema')}")
-        self._results = {
-            tuple(entry["argv"]): result_from_dict(entry["result"])
-            for entry in payload["entries"]
-        }
+        with self._lock:
+            self._results = {
+                tuple(entry["argv"]): result_from_dict(entry["result"])
+                for entry in payload["entries"]
+            }
 
 
 # ---------------------------------------------------------------------------

@@ -276,6 +276,93 @@ def streaming_table(measurements: List[StreamingMeasurement]) -> str:
         rows, title="Streaming data plane: barrier vs chunk-pipelined")
 
 
+# ---------------------------------------------------------------------------
+# service throughput / latency
+
+
+@dataclass
+class ServiceMeasurement:
+    """One load-generation pass against an in-process daemon."""
+
+    label: str                   # "cold" (empty plan cache) or "warm"
+    jobs: int
+    clients: int
+    concurrency: int
+    seconds: float
+    jobs_per_second: float
+    p50_seconds: float
+    p99_seconds: float
+    cache_hit_rate: float
+    failures: int
+    outputs_identical: bool
+
+
+def _measure_pass(label: str, url: str, requests, expected,
+                  clients: int, concurrency: int) -> ServiceMeasurement:
+    from ..workloads.loadgen import run_load
+
+    report = run_load(url, requests, clients=clients, keep_outputs=True)
+    identical = all(o.ok and o.output == expected[o.request_index]
+                    for o in report.outcomes)
+    return ServiceMeasurement(
+        label=label, jobs=report.jobs, clients=clients,
+        concurrency=concurrency, seconds=report.seconds,
+        jobs_per_second=report.jobs_per_second,
+        p50_seconds=report.p50, p99_seconds=report.p99,
+        cache_hit_rate=report.cache_hit_rate,
+        failures=report.failures, outputs_identical=identical)
+
+
+def measure_service(scripts: Optional[List[BenchmarkScript]] = None,
+                    scale: int = 60, seed: int = 3, k: int = 4,
+                    engine: str = SERIAL, clients: int = 4,
+                    concurrency: int = 4, repeats: int = 2,
+                    config: Optional[SynthesisConfig] = None
+                    ) -> List[ServiceMeasurement]:
+    """Drive the daemon with the benchmark scripts, cold then warm.
+
+    The first pass compiles every distinct pipeline (plan-cache
+    misses); the following ``repeats - 1`` passes replay the same jobs
+    against the now-warm cache.  Outputs are checked byte-for-byte
+    against the serial reference semantics on every pass.
+    """
+    from ..service.server import ReproService, ServiceConfig
+    from ..workloads.loadgen import expected_outputs, script_requests
+
+    requests = script_requests(scripts, scale=scale, seed=seed, k=k,
+                               engine=engine)
+    expected = expected_outputs(requests)
+    factory = (lambda _request: config) if config is not None else None
+    service_config = ServiceConfig(concurrency=concurrency)
+    if factory is not None:
+        service_config.config_factory = factory
+    measurements: List[ServiceMeasurement] = []
+    service = ReproService(service_config)
+    service.start_http()
+    try:
+        for i in range(max(1, repeats)):
+            label = "cold" if i == 0 else "warm"
+            measurements.append(_measure_pass(
+                label, service.url, requests, expected, clients,
+                concurrency))
+    finally:
+        service.stop()
+    return measurements
+
+
+def service_table(measurements: List[ServiceMeasurement]) -> str:
+    rows = [(m.label, m.jobs, f"{m.clients}x{m.concurrency}",
+             _fmt(m.seconds), f"{m.jobs_per_second:.1f}/s",
+             _fmt(m.p50_seconds), _fmt(m.p99_seconds),
+             f"{m.cache_hit_rate * 100:.0f}%",
+             "yes" if m.outputs_identical and m.failures == 0 else "NO")
+            for m in measurements]
+    return render_table(
+        ("Cache", "Jobs", "Clients x Workers", "Wall", "Throughput",
+         "p50", "p99", "Plan hits", "Identical"),
+        rows, title="Service: multi-tenant throughput and latency")
+
+
 def table1(perfs: List[ScriptPerformance], k: int = 16) -> str:
     """The two longest-running scripts per suite (by u1)."""
     rows = []

@@ -14,6 +14,7 @@ from .executor import (
     RunStats,
     STREAMING,
     StageStats,
+    run_stats_from_dict,
 )
 from .planner import (
     PARALLEL,
@@ -25,7 +26,7 @@ from .planner import (
     plan_stage,
     synthesize_pipeline,
 )
-from .runner import PROCESSES, SERIAL, StageRunner, THREADS
+from .runner import PROCESSES, RunnerPool, SERIAL, StageRunner, THREADS
 from .splitter import split_stream
 from .streaming import (
     DEFAULT_QUEUE_DEPTH,
@@ -38,9 +39,9 @@ from .streaming import (
 __all__ = [
     "BARRIER", "DEFAULT_QUEUE_DEPTH", "KWayCombiner", "PARALLEL",
     "PROCESSES", "ParallelPipeline", "PipelinePlan",
-    "RERUN_REDUCTION_THRESHOLD", "RunStats", "SEQUENTIAL", "SERIAL",
-    "STREAMING", "StagePlan", "StageRunner", "StageStats", "StageTrace",
-    "THREADS", "compile_pipeline", "merge_intervals", "overlap_seconds",
-    "plan_stage", "run_chunk_pipelined", "split_stream",
-    "synthesize_pipeline",
+    "RERUN_REDUCTION_THRESHOLD", "RunStats", "RunnerPool", "SEQUENTIAL",
+    "SERIAL", "STREAMING", "StagePlan", "StageRunner", "StageStats",
+    "StageTrace", "THREADS", "compile_pipeline", "merge_intervals",
+    "overlap_seconds", "plan_stage", "run_chunk_pipelined",
+    "run_stats_from_dict", "split_stream", "synthesize_pipeline",
 ]

@@ -56,6 +56,15 @@ class StageStats:
             return 0.0
         return self.bytes_out / self.seconds / 1e6
 
+    def to_dict(self) -> dict:
+        return {
+            "display": self.display, "mode": self.mode,
+            "eliminated": self.eliminated, "chunks": self.chunks,
+            "seconds": self.seconds, "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "overlap_seconds": self.overlap_seconds,
+        }
+
 
 @dataclass
 class RunStats:
@@ -76,6 +85,31 @@ class RunStats:
     @property
     def bytes_out(self) -> int:
         return self.stages[-1].bytes_out if self.stages else 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``--stats-json``, service job results)."""
+        return {
+            "k": self.k, "engine": self.engine,
+            "data_plane": self.data_plane, "seconds": self.seconds,
+            "total_overlap": self.total_overlap,
+            "bytes_in": self.bytes_in, "bytes_out": self.bytes_out,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+
+def run_stats_from_dict(data: dict) -> RunStats:
+    """Rebuild :class:`RunStats` from :meth:`RunStats.to_dict` output."""
+    return RunStats(
+        k=data["k"], engine=data["engine"],
+        data_plane=data.get("data_plane", BARRIER),
+        seconds=data.get("seconds", 0.0),
+        stages=[StageStats(
+            display=s["display"], mode=s["mode"],
+            eliminated=s.get("eliminated", False),
+            chunks=s.get("chunks", 0), seconds=s.get("seconds", 0.0),
+            bytes_in=s.get("bytes_in", 0), bytes_out=s.get("bytes_out", 0),
+            overlap_seconds=s.get("overlap_seconds", 0.0),
+        ) for s in data.get("stages", [])])
 
 
 class ParallelPipeline:

@@ -10,8 +10,10 @@ initializer so it is shipped once, not per task.
 from __future__ import annotations
 
 import concurrent.futures as cf
+import hashlib
+import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..shell.command import Command
 from ..unixsim import ExecContext, build
@@ -22,6 +24,25 @@ THREADS = "threads"
 PROCESSES = "processes"
 
 _WORKER_CONTEXT: Optional[ExecContext] = None
+
+
+def fs_digest(fs: Mapping[str, str],
+              env: Optional[Mapping[str, str]] = None) -> str:
+    """Collision-resistant fingerprint of a virtual filesystem (+env).
+
+    Used wherever byte-identical contents must imply a shared resource
+    (plan-cache identity, process-pool reuse) — a practical ``hash()``
+    collision here would hand one job another job's data.
+    """
+    digest = hashlib.sha256()
+    for mapping in (fs, env or {}):
+        for name in sorted(mapping):
+            digest.update(name.encode("utf-8", "surrogatepass"))
+            digest.update(b"\x00")
+            digest.update(mapping[name].encode("utf-8", "surrogatepass"))
+            digest.update(b"\x00")
+        digest.update(b"\x01")
+    return digest.hexdigest()
 
 
 def _init_worker(fs: Dict[str, str], env: Dict[str, str]) -> None:
@@ -124,3 +145,91 @@ class StageRunner:
         if self.engine == PROCESSES and command.backend == "sim":
             return pool.submit(_run_chunk_timed, command.argv, chunk)
         return pool.submit(_timed_call, command.run, chunk)
+
+
+class RunnerPool:
+    """Long-lived :class:`StageRunner` pool for multi-job processes.
+
+    A one-shot run spins a worker pool up and tears it down; a resident
+    service executing many jobs must not pay that per job.  ``acquire``
+    hands out an idle runner (or creates one) and ``release`` returns
+    it, keeping its underlying thread/process pool warm for the next
+    job.
+
+    Thread runners are context-free — chunk work is submitted as bound
+    ``command.run`` closures that carry their own :class:`ExecContext`
+    — so any thread runner of sufficient width is reusable by any job.
+    Process runners snapshot the virtual filesystem into workers at
+    pool startup, so they are keyed by a fingerprint of the context and
+    only reused by jobs with an identical one.
+    """
+
+    def __init__(self, max_idle_per_key: int = 2) -> None:
+        self.max_idle_per_key = max_idle_per_key
+        self._idle: Dict[tuple, List[StageRunner]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self.reused = 0
+        self.created = 0
+
+    @staticmethod
+    def _key(engine: str, max_workers: int,
+             context: Optional[ExecContext]) -> tuple:
+        if engine == PROCESSES:
+            ctx = context if context is not None else ExecContext()
+            return (engine, max_workers, fs_digest(ctx.fs, ctx.env))
+        return (engine, max_workers)
+
+    def acquire(self, engine: str = SERIAL, max_workers: int = 1,
+                context: Optional[ExecContext] = None) -> StageRunner:
+        key = self._key(engine, max_workers, context)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("RunnerPool is closed")
+            idle = self._idle.get(key)
+            runner = idle.pop() if idle else None
+            if runner is not None:
+                self.reused += 1
+            else:
+                self.created += 1
+        if runner is None:
+            runner = StageRunner(engine=engine, max_workers=max_workers,
+                                 context=context)
+            runner._pool_key = key  # type: ignore[attr-defined]
+        elif context is not None:
+            # safe for serial/threads (see class docstring); process
+            # runners only reach here with an identical-fingerprint
+            # context, whose fs/env snapshot is already in the workers
+            runner.context = context
+        return runner
+
+    def release(self, runner: StageRunner) -> None:
+        key = getattr(runner, "_pool_key", None)
+        if key is None:  # not one of ours: just close it
+            runner.close()
+            return
+        with self._lock:
+            if not self._closed:
+                idle = self._idle.setdefault(key, [])
+                if len(idle) < self.max_idle_per_key:
+                    idle.append(runner)
+                    return
+        runner.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            runners = [r for idle in self._idle.values() for r in idle]
+            self._idle.clear()
+        for runner in runners:
+            runner.close()
+
+    def __enter__(self) -> "RunnerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._idle.values())

@@ -1,0 +1,43 @@
+"""Multi-tenant parallelization service.
+
+A long-running daemon (``repro serve``) that accepts parallelization
+jobs — pipeline string, input files, env, ``k``, engine — over a local
+HTTP API, multiplexes them onto a shared worker-pool budget with
+fair-share scheduling across clients, and amortizes compilation with a
+shared :class:`~repro.service.cache.PlanCache` (warm-started from a
+persistent :class:`~repro.core.synthesis.CombinerStore`).
+
+Layers:
+
+* :mod:`repro.service.protocol` — :class:`JobRequest` /
+  :class:`JobResult` wire format and request validation;
+* :mod:`repro.service.cache` — the shared compiled-plan cache, keyed
+  like the synthesis memo, with single-flight compilation;
+* :mod:`repro.service.scheduler` — admission queue, per-client
+  fair-share round-robin, bounded worker concurrency;
+* :mod:`repro.service.server` — :class:`ReproService` (embeddable) and
+  the HTTP front end;
+* :mod:`repro.service.client` — :class:`ServiceClient` and the
+  ``repro submit`` CLI's transport.
+"""
+
+from .cache import PlanCache, plan_cache_key
+from .client import ServiceClient, ServiceUnavailable
+from .protocol import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobRequest,
+    JobResult,
+    ValidationError,
+)
+from .scheduler import JobScheduler, SchedulerSaturated
+from .server import ReproService, ServiceConfig
+
+__all__ = [
+    "JOB_DONE", "JOB_FAILED", "JOB_QUEUED", "JOB_RUNNING", "JobRequest",
+    "JobResult", "JobScheduler", "PlanCache", "ReproService",
+    "SchedulerSaturated", "ServiceClient", "ServiceConfig",
+    "ServiceUnavailable", "ValidationError", "plan_cache_key",
+]

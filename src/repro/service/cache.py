@@ -1,0 +1,153 @@
+"""Shared compiled-plan cache.
+
+Compilation — parsing, per-command combiner synthesis, planning — is
+the expensive half of a job (the paper reports 39-331 s of synthesis
+per command); the service pays it once per distinct job shape and
+serves every repeat from this cache.
+
+The key mirrors the synthesis memo's identity
+(:func:`repro.core.synthesis.store.synthesis_memo_key`): pipeline
+text, environment, a fingerprint of the virtual filesystem, the
+synthesis-config fingerprint, and the optimize flag — everything plan
+compilation can observe.  ``k``, engine, and data plane are *runtime*
+knobs carried by :class:`~repro.parallel.ParallelPipeline`, not by the
+plan, so one cached plan serves jobs at any parallelism degree.
+
+Concurrency: lookups are guarded by one lock; compilation runs outside
+it under a per-key *single-flight* lock, so ten identical jobs
+arriving cold trigger one synthesis, not ten, and distinct pipelines
+compile concurrently.  A cached plan is safe to execute from many jobs
+at once — plans and their stages are read-only at run time, and each
+job wraps the plan in its own :class:`ParallelPipeline`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from ..parallel.runner import fs_digest
+
+from ..core.synthesis.store import CombinerStore
+from ..core.synthesis.synthesizer import SynthesisConfig
+from ..parallel.planner import PipelinePlan, compile_pipeline, synthesize_pipeline
+from ..shell.pipeline import Pipeline
+from ..unixsim import ExecContext
+from .protocol import JobRequest
+
+#: compiled plans kept before LRU eviction; plans embed their virtual
+#: filesystem, so this also bounds resident input data
+DEFAULT_PLAN_CAPACITY = 128
+
+
+def _default_config(request: JobRequest) -> SynthesisConfig:
+    return SynthesisConfig(max_size=request.max_size, seed=request.seed)
+
+
+def plan_cache_key(request: JobRequest,
+                   config: Optional[SynthesisConfig] = None) -> tuple:
+    """Hashable identity of everything plan compilation observes.
+
+    File contents enter via a cryptographic digest, not ``hash()``:
+    two tenants' jobs may share a cached plan (and the filesystem
+    embedded in it) only when their files really are byte-identical,
+    so the fingerprint must not have a practical collision class.
+    """
+    if config is None:
+        config = _default_config(request)
+    return (
+        request.pipeline,
+        tuple(sorted(request.env.items())),
+        fs_digest(request.files),
+        tuple(sorted(dataclasses.asdict(config).items())),
+        request.optimize,
+    )
+
+
+class PlanCache:
+    """Thread-safe LRU of compiled :class:`PipelinePlan`s."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CAPACITY,
+                 store: Optional[CombinerStore] = None,
+                 config_factory: Callable[[JobRequest], SynthesisConfig]
+                 = _default_config) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.store = store
+        self.config_factory = config_factory
+        self._plans: "OrderedDict[tuple, PipelinePlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._inflight: Dict[tuple, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    # -- lookup / compile ----------------------------------------------------
+
+    def get_or_compile(self,
+                       request: JobRequest) -> Tuple[PipelinePlan, bool]:
+        """Return ``(plan, cache_hit)`` for the request, compiling at most
+        once per key across all concurrent callers."""
+        config = self.config_factory(request)
+        key = plan_cache_key(request, config)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._hits += 1
+                self._plans.move_to_end(key)
+                return plan, True
+            flight = self._inflight.setdefault(key, threading.Lock())
+        with flight:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    # compiled by the flight we waited behind
+                    self._hits += 1
+                    self._plans.move_to_end(key)
+                    return plan, True
+            try:
+                plan = self._compile(request, config)
+                with self._lock:
+                    self._misses += 1
+                    self._plans[key] = plan
+                    self._plans.move_to_end(key)
+                    while len(self._plans) > self.capacity:
+                        self._plans.popitem(last=False)
+            except BaseException:
+                with self._lock:
+                    self._misses += 1
+                raise
+            finally:
+                # always discharge the flight — a failing compile must
+                # not leave a permanent per-key lock behind
+                with self._lock:
+                    self._inflight.pop(key, None)
+        return plan, False
+
+    def _compile(self, request: JobRequest,
+                 config: SynthesisConfig) -> PipelinePlan:
+        context = ExecContext(fs=dict(request.files), env=dict(request.env))
+        pipeline = Pipeline.from_string(request.pipeline, env=request.env,
+                                        context=context)
+        results = synthesize_pipeline(pipeline, config=config,
+                                      store=self.store)
+        return compile_pipeline(pipeline, results, optimize=request.optimize)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "entries": len(self._plans), "capacity": self.capacity}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._hits = 0
+            self._misses = 0

@@ -1,0 +1,175 @@
+"""Client library for the parallelization service.
+
+:class:`ServiceClient` is a thin, dependency-free wrapper over
+``http.client``: submit a job, poll or block for its result, read the
+status counters, or stop the daemon.  Each call opens its own
+connection, so one client object is safe to share across threads (the
+load generator drives N threads through N clients anyway, to model N
+tenants).
+
+>>> client = ServiceClient("http://127.0.0.1:7070", client_id="alice")
+>>> result = client.run("cat $IN | sort | uniq -c",
+...                     files={"input.txt": "b\\na\\nb\\n"},
+...                     env={"IN": "input.txt"}, k=4)
+>>> result.output
+'      1 a\\n      2 b\\n'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+from .protocol import JobRequest, JobResult, ValidationError
+
+DEFAULT_PORT = 7070
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon could not be reached or returned an error response."""
+
+    def __init__(self, message: str, code: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    if "//" not in address:
+        address = "http://" + address
+    url = urlparse(address)
+    return url.hostname or "127.0.0.1", url.port or DEFAULT_PORT
+
+
+class ServiceClient:
+    """One tenant's handle on a running daemon."""
+
+    def __init__(self, address: str = f"http://127.0.0.1:{DEFAULT_PORT}",
+                 client_id: str = "anonymous",
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.host, self.port = _parse_address(address)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Tuple[int, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServiceUnavailable(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        ctype = response.headers.get("Content-Type", "")
+        data: Any = raw.decode("utf-8")
+        if "json" in ctype:
+            data = json.loads(data or "null")
+        return response.status, data
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Any:
+        status, data = self._request(method, path, body=body, timeout=timeout)
+        if status == 400:
+            raise ValidationError(
+                data.get("error", "invalid request")
+                if isinstance(data, dict) else str(data))
+        if status >= 300:
+            message = data.get("error", str(data)) \
+                if isinstance(data, dict) else str(data)
+            raise ServiceUnavailable(f"HTTP {status}: {message}", code=status)
+        return data
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(self, pipeline: str, files: Optional[Dict[str, str]] = None,
+               env: Optional[Dict[str, str]] = None, k: int = 4,
+               engine: str = "serial", streaming: bool = True,
+               optimize: bool = True, queue_depth: Optional[int] = None,
+               max_size: int = 7, seed: int = 0) -> str:
+        """Submit a job; returns its ``job_id`` without waiting."""
+        request = JobRequest(
+            pipeline=pipeline, files=dict(files or {}), env=dict(env or {}),
+            k=k, engine=engine, streaming=streaming, optimize=optimize,
+            queue_depth=queue_depth, max_size=max_size, seed=seed,
+            client_id=self.client_id)
+        return self.submit_request(request)
+
+    def submit_request(self, request: JobRequest) -> str:
+        data = self._checked("POST", "/v1/jobs", body=request.to_dict())
+        return data["job_id"]
+
+    def result(self, job_id: str, wait: bool = True,
+               timeout: Optional[float] = None,
+               include_output: bool = True) -> JobResult:
+        timeout = timeout if timeout is not None else self.timeout
+        path = (f"/v1/jobs/{job_id}?wait={int(wait)}&timeout={timeout}"
+                f"&output={int(include_output)}")
+        # the HTTP read deadline must outlive the server-side wait
+        data = self._checked("GET", path, timeout=timeout + 10.0)
+        return JobResult.from_dict(data)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             include_output: bool = True) -> JobResult:
+        """Block until the job finishes (re-polling past server waits)."""
+        deadline = time.monotonic() + (timeout if timeout is not None
+                                       else self.timeout)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not done in time")
+            result = self.result(job_id, wait=True,
+                                 timeout=min(remaining, 30.0),
+                                 include_output=include_output)
+            if result.done:
+                return result
+
+    def run(self, pipeline: str, timeout: Optional[float] = None,
+            **kwargs) -> JobResult:
+        """Submit and wait: the one-shot convenience call."""
+        job_id = self.submit(pipeline, **kwargs)
+        return self.wait(job_id, timeout=timeout)
+
+    def status(self) -> Dict[str, Any]:
+        return self._checked("GET", "/v1/status")
+
+    def metrics(self) -> str:
+        return self._checked("GET", "/metrics")
+
+    def healthy(self) -> bool:
+        try:
+            data = self._checked("GET", "/v1/healthz")
+        except (ServiceUnavailable, OSError):
+            return False
+        return bool(isinstance(data, dict) and data.get("ok"))
+
+    def shutdown(self) -> None:
+        self._checked("POST", "/v1/shutdown", body={})
+
+    def wait_until_healthy(self, timeout: float = 10.0,
+                           interval: float = 0.05) -> bool:
+        """Poll ``/v1/healthz`` until it answers (daemon startup races)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.healthy():
+                return True
+            time.sleep(interval)
+        return False

@@ -1,0 +1,183 @@
+"""Admission queue and fair-share job scheduling.
+
+The service multiplexes many clients onto one bounded worker budget.
+Scheduling is **fair-share round-robin across clients**: each client
+gets its own FIFO, and workers pick the head of the next non-empty
+client queue in rotation — a client that dumps 100 jobs cannot starve
+a client that submits one (max-min fairness over job slots, the
+classic stride-scheduling special case for equal weights).
+
+Admission control is a hard bound on queued jobs (total and
+per-client); beyond it :meth:`JobScheduler.submit` raises
+:class:`SchedulerSaturated`, which the HTTP layer maps to 429 so
+back-pressure reaches the client instead of growing the heap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SchedulerSaturated(RuntimeError):
+    """The admission queue is full; the client should back off."""
+
+
+class JobScheduler:
+    """Bounded worker pool draining per-client queues round-robin.
+
+    ``run_job`` is invoked on a worker thread for every submitted item;
+    it owns all job bookkeeping (the scheduler never looks inside an
+    item beyond the ``client_id`` passed to :meth:`submit`).
+    """
+
+    def __init__(self, run_job: Callable[[T], None], concurrency: int = 2,
+                 max_queued: int = 256,
+                 max_queued_per_client: Optional[int] = None) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be positive, got {concurrency}")
+        if max_queued < 1:
+            raise ValueError(f"max_queued must be positive, got {max_queued}")
+        self.run_job = run_job
+        self.concurrency = concurrency
+        self.max_queued = max_queued
+        self.max_queued_per_client = max_queued_per_client
+        self._queues: "OrderedDict[str, Deque[T]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queued = 0
+        self._running = 0
+        self._submitted = 0
+        self._completed = 0
+        self._stopping = False
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"repro-job-worker-{i}",
+                             daemon=True)
+            for i in range(concurrency)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, client_id: str, item: T) -> None:
+        with self._lock:
+            if self._stopping:
+                raise SchedulerSaturated("scheduler is shutting down")
+            if self._queued >= self.max_queued:
+                raise SchedulerSaturated(
+                    f"admission queue full ({self.max_queued} jobs)")
+            q = self._queues.get(client_id)
+            if q is None:
+                q = deque()
+                self._queues[client_id] = q
+            if self.max_queued_per_client is not None \
+                    and len(q) >= self.max_queued_per_client:
+                raise SchedulerSaturated(
+                    f"client {client_id!r} already has "
+                    f"{len(q)} jobs queued")
+            q.append(item)
+            self._queued += 1
+            self._submitted += 1
+            self._work.notify()
+
+    # -- worker side ---------------------------------------------------------
+
+    def _pick(self) -> Optional[T]:
+        # round-robin: serve the first non-empty client queue, then
+        # rotate that client to the back of the order
+        for client_id in list(self._queues):
+            q = self._queues[client_id]
+            if q:
+                item = q.popleft()
+                self._queues.move_to_end(client_id)
+                if not q:
+                    del self._queues[client_id]
+                self._queued -= 1
+                return item
+            del self._queues[client_id]  # stale empty queue
+        return None
+
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                item = self._pick()
+                while item is None:
+                    if self._stopping:
+                        return
+                    self._work.wait(timeout=0.1)
+                    item = self._pick()
+                self._running += 1
+            try:
+                self.run_job(item)
+            finally:
+                with self._lock:
+                    self._running -= 1
+                    self._completed += 1
+                    self._idle.notify_all()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop_admissions(self) -> None:
+        """Reject new submits while already-queued jobs keep running.
+
+        Graceful shutdown calls this *before* draining, so a client
+        submitting faster than jobs complete cannot hold the drain open
+        forever — it gets :class:`SchedulerSaturated` (HTTP 429) once
+        shutdown begins.
+        """
+        with self._lock:
+            self._stopping = True
+            self._work.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._queued or self._running:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._idle.wait(timeout=min(remaining, 0.1))
+                else:
+                    self._idle.wait(timeout=0.1)
+            return True
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> bool:
+        """Stop the workers; returns False if draining timed out.
+
+        With ``drain`` the call first waits for queued and running jobs
+        to finish; without it, queued jobs are abandoned (the caller is
+        expected to fail them) and only running jobs are waited on.
+        """
+        clean = True
+        if drain:
+            clean = self.drain(timeout=timeout)
+        with self._lock:
+            self._stopping = True
+            if not drain:
+                self._queues.clear()
+                self._queued = 0
+            self._work.notify_all()
+        for w in self._workers:
+            w.join(timeout=timeout)
+            clean = clean and not w.is_alive()
+        return clean
+
+    # -- introspection -------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "queued": self._queued, "running": self._running,
+                "submitted": self._submitted, "completed": self._completed,
+                "clients_waiting": len(self._queues),
+                "concurrency": self.concurrency,
+            }

@@ -2,7 +2,7 @@
 
 from .command import Command, CommandError
 from .parser import ParseError, Stage, expand_variables, parse_pipeline, split_pipeline
-from .pipeline import Pipeline
+from .pipeline import Pipeline, validate_pipeline_text
 
 __all__ = [
     "Command",
@@ -13,4 +13,5 @@ __all__ = [
     "expand_variables",
     "parse_pipeline",
     "split_pipeline",
+    "validate_pipeline_text",
 ]

@@ -76,3 +76,19 @@ class Pipeline:
 def _is_input_cat(stage: Stage) -> bool:
     return stage.name == "cat" and len(stage.argv) >= 2 \
         and not stage.argv[1].startswith("-")
+
+
+def validate_pipeline_text(text: str,
+                           env: Optional[Dict[str, str]] = None,
+                           backend: str = "sim") -> List[str]:
+    """Parse and instantiate every stage without running anything.
+
+    Returns the stage displays on success; raises
+    :class:`~repro.shell.parser.ParseError` on malformed syntax or
+    :class:`~repro.unixsim.base.UsageError` when a stage names a
+    command the ``sim`` backend does not provide.  Admission control
+    (the parallelization service) calls this so a bad request is
+    rejected at submit time rather than failing on a worker.
+    """
+    pipeline = Pipeline.from_string(text, env=env, backend=backend)
+    return pipeline.stage_displays()

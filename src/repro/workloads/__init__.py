@@ -1,5 +1,13 @@
-"""Benchmark workloads: the four suites, input generators, runners."""
+"""Benchmark workloads: the four suites, input generators, runners,
+and the service load generator."""
 
+from .loadgen import (
+    JobOutcome,
+    LoadReport,
+    expected_outputs,
+    run_load,
+    script_requests,
+)
 from .runner import (
     ScriptRun,
     build_context,
@@ -21,8 +29,9 @@ from .scripts import (
 )
 
 __all__ = [
-    "ALL_SCRIPTS", "ANALYTICS", "BenchmarkScript", "ONELINERS", "POETS",
-    "SUITES", "ScriptPipeline", "ScriptRun", "UNIX50", "build_context",
-    "get_script", "parse_script", "run_parallel", "run_serial",
-    "total_expected_stages",
+    "ALL_SCRIPTS", "ANALYTICS", "BenchmarkScript", "JobOutcome",
+    "LoadReport", "ONELINERS", "POETS", "SUITES", "ScriptPipeline",
+    "ScriptRun", "UNIX50", "build_context", "expected_outputs",
+    "get_script", "parse_script", "run_load", "run_parallel", "run_serial",
+    "script_requests", "total_expected_stages",
 ]

@@ -1,0 +1,172 @@
+"""Load generator: N concurrent tenants driving the service.
+
+Builds job requests from the benchmark suites, fans them out over
+``clients`` threads (one :class:`~repro.service.client.ServiceClient`
+per thread, each with its own ``client_id`` so the daemon's fair-share
+scheduler sees genuinely distinct tenants), and collects per-job
+client-observed latency plus correctness against the serial reference
+semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..service.client import ServiceClient
+from ..service.protocol import JobRequest
+from ..shell.pipeline import Pipeline
+from ..unixsim import ExecContext
+from .scripts import ALL_SCRIPTS, BenchmarkScript
+
+
+@dataclass
+class JobOutcome:
+    """One job as observed from the client side."""
+
+    client_id: str
+    pipeline: str
+    status: str
+    latency_seconds: float
+    request_index: int = -1      # position in the submitted request list
+    plan_cache: Optional[str] = None
+    output: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+
+@dataclass
+class LoadReport:
+    """Aggregate of one load-generation run."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    seconds: float = 0.0
+    clients: int = 0
+
+    @property
+    def jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.jobs / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = sum(1 for o in self.outcomes if o.plan_cache == "hit")
+        return hits / self.jobs if self.jobs else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Client-observed submit-to-done latency at quantile ``q``."""
+        if not self.outcomes:
+            return 0.0
+        ordered = sorted(o.latency_seconds for o in self.outcomes)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(0.99)
+
+
+def script_requests(scripts: Optional[Sequence[BenchmarkScript]] = None,
+                    scale: int = 80, seed: int = 3, k: int = 4,
+                    engine: str = "serial",
+                    streaming: bool = True) -> List[JobRequest]:
+    """One job per benchmark script: its first self-contained pipeline.
+
+    Multi-pipeline scripts chain through intermediate files, which a
+    single service job does not model, so only each script's first
+    pipeline is used (skipping scripts whose first pipeline writes an
+    intermediate file for a later one).
+    """
+    scripts = list(scripts) if scripts is not None else ALL_SCRIPTS
+    requests = []
+    for script in scripts:
+        first = script.pipelines[0]
+        if first.output_file is not None and len(script.pipelines) > 1:
+            continue
+        requests.append(JobRequest(
+            pipeline=first.text, files=script.make_fs(scale, seed),
+            env=dict(script.env), k=k, engine=engine, streaming=streaming))
+    return requests
+
+
+def expected_outputs(requests: Sequence[JobRequest]) -> List[str]:
+    """Serial reference output per request (the byte-identity oracle)."""
+    outputs = []
+    for request in requests:
+        context = ExecContext(fs=dict(request.files), env=dict(request.env))
+        pipeline = Pipeline.from_string(request.pipeline, env=request.env,
+                                        context=context)
+        outputs.append(pipeline.run())
+    return outputs
+
+
+def run_load(address: str, requests: Sequence[JobRequest],
+             clients: int = 4, timeout: float = 300.0,
+             keep_outputs: bool = False) -> LoadReport:
+    """Drive ``requests`` through ``clients`` concurrent tenants.
+
+    Request *i* is owned by client ``i % clients``; each client submits
+    its jobs sequentially (a tenant is a serial caller, concurrency
+    comes from having many of them), so the daemon sees up to
+    ``clients`` jobs in flight.
+    """
+    report = LoadReport(clients=clients)
+    lock = threading.Lock()
+
+    def tenant(index: int) -> None:
+        client = ServiceClient(address, client_id=f"loadgen-{index}",
+                               timeout=timeout)
+        for req_index, request in list(enumerate(requests))[index::clients]:
+            request = JobRequest(**{**request.to_dict(),
+                                    "client_id": client.client_id})
+            t0 = time.perf_counter()
+            try:
+                job_id = client.submit_request(request)
+                result = client.wait(job_id, timeout=timeout,
+                                     include_output=True)
+                outcome = JobOutcome(
+                    client_id=client.client_id, pipeline=request.pipeline,
+                    status=result.status,
+                    latency_seconds=time.perf_counter() - t0,
+                    request_index=req_index,
+                    plan_cache=result.plan_cache,
+                    output=result.output if (keep_outputs
+                                             and result.output is not None)
+                    else None,
+                    error=result.error)
+            except Exception as exc:  # noqa: BLE001 - a failed job is data
+                outcome = JobOutcome(
+                    client_id=client.client_id, pipeline=request.pipeline,
+                    status="error",
+                    latency_seconds=time.perf_counter() - t0,
+                    request_index=req_index,
+                    error=f"{type(exc).__name__}: {exc}")
+            with lock:
+                report.outcomes.append(outcome)
+
+    threads = [threading.Thread(target=tenant, args=(i,),
+                                name=f"repro-loadgen-{i}")
+               for i in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.seconds = time.perf_counter() - start
+    return report

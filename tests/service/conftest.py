@@ -1,0 +1,17 @@
+"""Shared fixtures for the service test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.server import ReproService, ServiceConfig
+
+
+@pytest.fixture()
+def service(fast_config):
+    """An HTTP-serving daemon on an ephemeral port, fast synthesis knobs."""
+    svc = ReproService(ServiceConfig(
+        concurrency=4, config_factory=lambda _request: fast_config))
+    svc.start_http()
+    yield svc
+    svc.stop()

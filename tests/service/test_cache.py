@@ -1,0 +1,138 @@
+"""PlanCache: keying, LRU, and single-flight compilation."""
+
+import threading
+
+import pytest
+
+from repro.service.cache import PlanCache, plan_cache_key
+from repro.service.protocol import JobRequest
+
+FILES = {"input.txt": "b\na\nb\n"}
+ENV = {"IN": "input.txt"}
+
+
+def _request(**overrides):
+    base = dict(pipeline="cat $IN | sort | uniq", files=dict(FILES),
+                env=dict(ENV), k=2)
+    base.update(overrides)
+    return JobRequest(**base)
+
+
+def _cache(fast_config, **kwargs):
+    return PlanCache(config_factory=lambda _request: fast_config, **kwargs)
+
+
+def test_repeat_request_hits(fast_config):
+    cache = _cache(fast_config)
+    plan, hit = cache.get_or_compile(_request())
+    assert not hit
+    plan2, hit2 = cache.get_or_compile(_request())
+    assert hit2 and plan2 is plan
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                             "capacity": cache.capacity}
+
+
+def test_runtime_knobs_share_one_plan(fast_config):
+    """k / engine / data plane are not part of the plan identity."""
+    cache = _cache(fast_config)
+    plan, _ = cache.get_or_compile(_request(k=2, engine="serial"))
+    plan2, hit = cache.get_or_compile(
+        _request(k=8, engine="threads", streaming=False, queue_depth=2))
+    assert hit and plan2 is plan
+
+
+@pytest.mark.parametrize("overrides", [
+    dict(files={"input.txt": "different\n"}),
+    dict(env={"IN": "input.txt", "EXTRA": "1"}),
+    dict(pipeline="cat $IN | sort"),
+    dict(optimize=False),
+])
+def test_distinct_identities_miss(fast_config, overrides):
+    cache = _cache(fast_config)
+    cache.get_or_compile(_request())
+    _, hit = cache.get_or_compile(_request(**overrides))
+    assert not hit
+    assert cache.stats()["misses"] == 2
+
+
+def test_key_is_hashable_and_stable():
+    key = plan_cache_key(_request())
+    assert key == plan_cache_key(_request())
+    assert hash(key) == hash(plan_cache_key(_request()))
+
+
+def test_synthesis_knobs_change_key():
+    """With the default config factory, per-request synthesis knobs are
+    part of the plan identity (they change what synthesis computes)."""
+    base = plan_cache_key(_request())
+    assert plan_cache_key(_request(seed=77)) != base
+    assert plan_cache_key(_request(max_size=5)) != base
+
+
+def test_lru_eviction(fast_config):
+    cache = _cache(fast_config, capacity=2)
+    first = _request()
+    cache.get_or_compile(first)
+    cache.get_or_compile(_request(pipeline="cat $IN | sort"))
+    cache.get_or_compile(_request(pipeline="cat $IN | uniq"))  # evicts first
+    assert len(cache) == 2
+    _, hit = cache.get_or_compile(first)
+    assert not hit
+
+
+def test_single_flight_compiles_once(fast_config, monkeypatch):
+    cache = _cache(fast_config)
+    calls = []
+    barrier = threading.Barrier(4)
+    original = cache._compile
+
+    def slow_compile(request, config):
+        calls.append(request.pipeline)
+        return original(request, config)
+
+    monkeypatch.setattr(cache, "_compile", slow_compile)
+    results = []
+
+    def worker():
+        barrier.wait()
+        results.append(cache.get_or_compile(_request()))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(calls) == 1
+    plans = {id(plan) for plan, _hit in results}
+    assert len(plans) == 1
+    assert sum(1 for _plan, hit in results if not hit) == 1
+
+
+def test_failed_compile_releases_single_flight(fast_config, monkeypatch):
+    """A compile error must not leave a permanent per-key lock behind."""
+    cache = _cache(fast_config)
+    original = cache._compile
+    boom = {"raise": True}
+
+    def flaky_compile(request, config):
+        if boom["raise"]:
+            raise RuntimeError("synthesis exploded")
+        return original(request, config)
+
+    monkeypatch.setattr(cache, "_compile", flaky_compile)
+    with pytest.raises(RuntimeError, match="exploded"):
+        cache.get_or_compile(_request())
+    assert not cache._inflight, "inflight lock leaked"
+    assert cache.stats()["misses"] == 1
+    boom["raise"] = False
+    _plan, hit = cache.get_or_compile(_request())  # key is retryable
+    assert not hit
+    assert not cache._inflight
+
+
+def test_clear(fast_config):
+    cache = _cache(fast_config)
+    cache.get_or_compile(_request())
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats()["hits"] == 0

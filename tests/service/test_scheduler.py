@@ -1,0 +1,140 @@
+"""JobScheduler: fair share, admission control, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.scheduler import JobScheduler, SchedulerSaturated
+
+
+class Gate:
+    """run_job that blocks until released, recording completion order."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.order = []
+        self.lock = threading.Lock()
+
+    def __call__(self, item):
+        self.release.wait(timeout=5)
+        with self.lock:
+            self.order.append(item)
+
+
+def test_fair_share_round_robin():
+    gate = Gate()
+    sched = JobScheduler(gate, concurrency=1)
+    # first job occupies the single worker while the queues fill up
+    sched.submit("a", "a0")
+    time.sleep(0.05)  # let the worker pick a0 and block on the gate
+    for item in ("a1", "a2", "a3"):
+        sched.submit("a", item)
+    sched.submit("b", "b1")
+    sched.submit("c", "c1")
+    gate.release.set()
+    assert sched.drain(timeout=5)
+    # round-robin: after a0, clients alternate instead of draining a first
+    assert gate.order[0] == "a0"
+    assert gate.order[1:4] == ["a1", "b1", "c1"]
+    assert gate.order[4:] == ["a2", "a3"]
+    sched.shutdown()
+
+
+def test_concurrency_bound():
+    running = []
+    peak = []
+    lock = threading.Lock()
+
+    def run_job(_item):
+        with lock:
+            running.append(1)
+            peak.append(len(running))
+        time.sleep(0.05)
+        with lock:
+            running.pop()
+
+    sched = JobScheduler(run_job, concurrency=2)
+    for i in range(8):
+        sched.submit(f"client-{i % 3}", i)
+    assert sched.drain(timeout=5)
+    assert max(peak) <= 2
+    assert sched.counts()["completed"] == 8
+    sched.shutdown()
+
+
+def test_admission_limits():
+    gate = Gate()
+    sched = JobScheduler(gate, concurrency=1, max_queued=2,
+                         max_queued_per_client=2)
+    sched.submit("a", "a0")
+    time.sleep(0.05)  # a0 now running, queue empty
+    sched.submit("a", "a1")
+    sched.submit("a", "a2")
+    with pytest.raises(SchedulerSaturated):
+        sched.submit("b", "b0")  # total bound
+    gate.release.set()
+    assert sched.drain(timeout=5)
+    sched.shutdown()
+
+
+def test_per_client_limit():
+    gate = Gate()
+    sched = JobScheduler(gate, concurrency=1, max_queued=100,
+                         max_queued_per_client=1)
+    sched.submit("a", "a0")
+    time.sleep(0.05)
+    sched.submit("a", "a1")
+    with pytest.raises(SchedulerSaturated, match="client 'a'"):
+        sched.submit("a", "a2")
+    sched.submit("b", "b0")  # other clients unaffected
+    gate.release.set()
+    assert sched.drain(timeout=5)
+    sched.shutdown()
+
+
+def test_shutdown_without_drain_abandons_queue():
+    gate = Gate()
+    sched = JobScheduler(gate, concurrency=1)
+    sched.submit("a", "a0")
+    time.sleep(0.05)
+    sched.submit("a", "a1")
+    sched.submit("a", "a2")
+    gate.release.set()
+    assert sched.shutdown(drain=False, timeout=5)
+    assert "a1" not in gate.order and "a2" not in gate.order
+    assert sched.counts()["queued"] == 0
+
+
+def test_stop_admissions_rejects_new_but_drains_queued():
+    gate = Gate()
+    sched = JobScheduler(gate, concurrency=1)
+    sched.submit("a", "a0")
+    time.sleep(0.05)
+    sched.submit("a", "a1")
+    sched.submit("b", "b0")
+    sched.stop_admissions()
+    with pytest.raises(SchedulerSaturated, match="shutting down"):
+        sched.submit("c", "c0")   # new work refused...
+    gate.release.set()
+    assert sched.drain(timeout=5)  # ...but queued jobs still run
+    assert sorted(gate.order) == ["a0", "a1", "b0"]
+    assert sched.shutdown(timeout=5)
+
+
+def test_submit_after_shutdown_rejected():
+    sched = JobScheduler(lambda item: None, concurrency=1)
+    sched.shutdown()
+    with pytest.raises(SchedulerSaturated, match="shutting down"):
+        sched.submit("a", "a0")
+
+
+def test_shutdown_joins_workers():
+    before = {t.ident for t in threading.enumerate()}
+    sched = JobScheduler(lambda item: None, concurrency=3)
+    for i in range(5):
+        sched.submit("a", i)
+    assert sched.shutdown(timeout=5)
+    alive = [t for t in threading.enumerate()
+             if t.ident not in before and t.name.startswith("repro-job")]
+    assert not alive

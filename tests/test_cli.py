@@ -1,4 +1,8 @@
-"""CLI tests (python -m repro.cli)."""
+"""CLI tests (python -m repro.cli / python -m repro)."""
+
+import json
+import subprocess
+import sys
 
 import pytest
 
@@ -88,3 +92,130 @@ def test_run_output_file_and_stats(tmp_path, capsys):
 def test_missing_subcommand_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_python_dash_m_repro_entrypoint():
+    import os
+    import repro
+
+    src = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-m", "repro", "--help"],
+                          capture_output=True, text=True, env=env)
+    assert proc.returncode == 0
+    assert "synthesize" in proc.stdout and "serve" in proc.stdout
+
+
+def test_run_stats_json_file(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\nb\n")
+    dest = tmp_path / "stats.json"
+    rc = main(["--seed", "7", "run", "cat in.txt | sort | uniq -c",
+               "-k", "2", "--file", str(f), "--stats-json", str(dest)])
+    capsys.readouterr()
+    assert rc == 0
+    stats = json.loads(dest.read_text())
+    assert stats["k"] == 2
+    assert stats["data_plane"] == "streaming"
+    assert stats["stages"] and all("display" in s for s in stats["stages"])
+    assert stats["bytes_in"] == 6
+
+
+def test_run_stats_json_stderr(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\n")
+    rc = main(["--seed", "7", "run", "cat in.txt | sort",
+               "--file", str(f), "--stats-json", "-"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert captured.out == "a\nb\n"
+    assert json.loads(captured.err)["stages"]
+
+
+# ---------------------------------------------------------------------------
+# service subcommands (against an in-process daemon)
+
+
+@pytest.fixture()
+def daemon(fast_config):
+    from repro.service.server import ReproService, ServiceConfig
+
+    svc = ReproService(ServiceConfig(
+        concurrency=2, config_factory=lambda _request: fast_config))
+    svc.start_http()
+    yield svc
+    svc.stop()
+
+
+def test_submit_roundtrip(daemon, tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\nb\n")
+    rc = main(["submit", "cat in.txt | sort | uniq -c", "-k", "2",
+               "--file", str(f), "--server", daemon.url, "--stats"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert captured.out == "      1 a\n      2 b\n"
+    assert "plan cache: miss" in captured.err
+
+
+def test_submit_stats_json_and_output_file(daemon, tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\n")
+    out = tmp_path / "out.txt"
+    stats = tmp_path / "stats.json"
+    rc = main(["submit", "cat in.txt | sort", "--file", str(f),
+               "--server", daemon.url, "--output", str(out),
+               "--stats-json", str(stats)])
+    capsys.readouterr()
+    assert rc == 0
+    assert out.read_text() == "a\nb\n"
+    assert json.loads(stats.read_text())["data_plane"] == "streaming"
+
+
+def test_submit_no_wait_prints_job_id(daemon, tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("a\n")
+    rc = main(["submit", "cat in.txt | sort", "--file", str(f),
+               "--server", daemon.url, "--no-wait"])
+    job_id = capsys.readouterr().out.strip()
+    assert rc == 0
+    assert len(job_id) == 16
+    from repro.service.client import ServiceClient
+    assert ServiceClient(daemon.url).wait(job_id).status == "done"
+
+
+def test_submit_invalid_pipeline_fails_cleanly(daemon, capsys):
+    rc = main(["submit", "no-such-command-at-all", "--server", daemon.url])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "error" in captured.err
+
+
+def test_env_without_equals_rejected_cleanly(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("a\n")
+    for argv in (["run", "cat in.txt | sort", "--file", str(f),
+                  "--env", "BROKEN"],
+                 ["submit", "cat in.txt | sort", "--file", str(f),
+                  "--env", "BROKEN", "--server", "http://127.0.0.1:1"]):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+
+def test_submit_unreachable_server(capsys):
+    rc = main(["submit", "sort", "--server", "http://127.0.0.1:1",
+               "--timeout", "1"])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_status_subcommand(daemon, capsys):
+    rc = main(["status", "--server", daemon.url])
+    captured = capsys.readouterr()
+    assert rc == 0
+    payload = json.loads(captured.out)
+    assert payload["jobs"]["submitted"] == 0
+    assert payload["plan_cache"]["entries"] == 0
