@@ -42,7 +42,7 @@ from .parallel import (
 from .shell import Command, Pipeline
 from .unixsim import ExecContext
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Combiner", "CombinerStore", "Command", "CompositeCombiner", "EvalEnv",
@@ -65,8 +65,9 @@ def parallelize(
     store: Optional[Union[str, "CombinerStore"]] = None,
     streaming: bool = True,
     queue_depth: Optional[int] = None,
+    rewrite: Optional[bool] = None,
 ) -> ParallelPipeline:
-    """One-shot: parse, synthesize combiners, compile, and wrap for execution.
+    """One-shot: parse, optimize, synthesize combiners, compile, and wrap.
 
     Args:
         pipeline_text: the shell pipeline, e.g. ``"cat $IN | sort | uniq -c"``.
@@ -74,7 +75,9 @@ def parallelize(
         files: virtual filesystem contents (``$IN`` targets, dictionaries).
         env: variables for ``$VAR`` expansion.
         engine: ``"serial"``, ``"threads"``, or ``"processes"``.
-        optimize: apply intermediate combiner elimination (Theorem 5).
+        optimize: run the optimizer — the rewrite engine with cost-model
+            plan selection (:mod:`repro.optimizer`) plus intermediate
+            combiner elimination (Theorem 5).
         config: synthesis knobs; defaults are laptop-friendly.
         results: optional pre-computed synthesis cache keyed by
             :meth:`Command.key` — pass the same dict across calls to
@@ -87,13 +90,27 @@ def parallelize(
             materializes every intermediate stream.
         queue_depth: chunks buffered between streaming stages before
             the producer blocks.
+        rewrite: override just the rewrite-engine half of ``optimize``
+            (``rewrite=False, optimize=True`` keeps combiner
+            elimination but executes the pipeline exactly as written).
+
+    The applied rewrite trace is available as ``pp.plan.rewrite_trace``
+    and the chosen plan's rewrite count lands in ``RunStats.rewrites``.
     """
     context = ExecContext(fs=dict(files or {}), env=dict(env or {}))
     pipeline = Pipeline.from_string(pipeline_text, env=env, context=context)
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = CombinerStore(store)
-    results = synthesize_pipeline(pipeline, config=config, cache=results,
-                                  store=store)
-    plan = compile_pipeline(pipeline, results, optimize=optimize)
+    rewrite = optimize if rewrite is None else rewrite
+    if rewrite:
+        from .optimizer import select_plan
+
+        plan, _optimization = select_plan(
+            pipeline, k=k, config=config, cache=results, store=store,
+            optimize=optimize)
+    else:
+        results = synthesize_pipeline(pipeline, config=config, cache=results,
+                                      store=store)
+        plan = compile_pipeline(pipeline, results, optimize=optimize)
     return ParallelPipeline(plan, k=k, engine=engine, streaming=streaming,
                             queue_depth=queue_depth)

@@ -15,8 +15,11 @@ Subcommands:
 
 * ``synthesize CMD`` — synthesize and print the combiner for one
   command (optionally persisting to ``--store combiners.json``).
-* ``explain PIPELINE`` — synthesize every stage and print the compiled
-  parallel plan without running it.
+* ``explain PIPELINE`` — run the pipeline optimizer, synthesize every
+  stage, and print the rewrite trace plus the chosen compiled plan
+  without executing the job (cost-based selection does run the
+  candidates on a bounded input sample; ``--no-optimize`` shows the
+  plan exactly as written).
 * ``run PIPELINE`` — compile and execute the pipeline with ``-k``-way
   parallelism, writing the output stream to stdout (or ``--output``).
 * ``serve`` — run the resident parallelization daemon: jobs are
@@ -117,7 +120,7 @@ def _build(args):
     files = _load_files(args.file or [])
     env = _parse_env(args.env)
     return parallelize(args.pipeline, k=args.k, files=files, env=env,
-                       engine=args.engine, optimize=not args.no_optimize,
+                       engine=args.engine, optimize=args.optimize,
                        config=_config(args), store=_open_store(args.store),
                        streaming=not args.barrier,
                        queue_depth=args.queue_depth)
@@ -125,9 +128,18 @@ def _build(args):
 
 def cmd_explain(args) -> int:
     pp = _build(args)
-    print(f"plan ({pp.plan.parallelized}/{pp.plan.num_stages} stages "
-          f"parallelized, {pp.plan.eliminated} combiners eliminated):")
-    for line in pp.plan.describe():
+    plan = pp.plan
+    if args.optimize:
+        if plan.rewrite_trace:
+            print(f"rewrites ({plan.rewrites} applied):")
+            for line in plan.rewrite_trace:
+                print("  " + line)
+        else:
+            print("rewrites: none profitable")
+        print(f"pipeline: {plan.pipeline.render()}")
+    print(f"plan ({plan.parallelized}/{plan.num_stages} stages "
+          f"parallelized, {plan.eliminated} combiners eliminated):")
+    for line in plan.describe():
         print("  " + line)
     return 0
 
@@ -209,7 +221,7 @@ def cmd_submit(args) -> int:
         job_id = client.submit(
             args.pipeline, files=files, env=env, k=args.k,
             engine=args.engine, streaming=not args.barrier,
-            optimize=not args.no_optimize, queue_depth=args.queue_depth,
+            optimize=args.optimize, queue_depth=args.queue_depth,
             max_size=args.max_size, seed=args.seed)
         if args.no_wait:
             print(job_id)
@@ -271,8 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--env", action="append", metavar="NAME=VALUE")
         p.add_argument("--engine", default="serial",
                        choices=("serial", "threads", "processes"))
-        p.add_argument("--no-optimize", action="store_true",
-                       help="disable intermediate combiner elimination")
+        p.add_argument("--optimize", dest="optimize", action="store_true",
+                       default=True,
+                       help="enable the pipeline optimizer: rewrite-engine "
+                            "plan selection + combiner elimination (default)")
+        p.add_argument("--no-optimize", dest="optimize",
+                       action="store_false",
+                       help="run the pipeline exactly as written")
         p.add_argument("--barrier", action="store_true",
                        help="use the barrier data plane (full stream "
                             "materialization between stages) instead of "
@@ -320,7 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--env", action="append", metavar="NAME=VALUE")
     sb.add_argument("--engine", default="serial",
                     choices=("serial", "threads", "processes"))
-    sb.add_argument("--no-optimize", action="store_true")
+    sb.add_argument("--optimize", dest="optimize", action="store_true",
+                    default=True)
+    sb.add_argument("--no-optimize", dest="optimize", action="store_false")
     sb.add_argument("--barrier", action="store_true")
     sb.add_argument("--queue-depth", type=int, default=None)
     sb.add_argument("--timeout", type=float, default=120.0,

@@ -112,11 +112,18 @@ def _extract_literals(argv: List[str], rng: random.Random,
             elif a.startswith("s") and len(a) > 2:
                 profile.dictionary.extend(
                     examples_for_pattern(_sed_pattern(a), rng, count=5))
-    elif name in ("head", "tail"):
+    elif name in ("head", "tail", "topk"):
         for a in argv[1:]:
             m = re.match(r"^-?n?\+?(\d+)$", a.lstrip("-"))
             if m and m.group(1).isdigit():
                 profile.line_hint = int(m.group(1))
+    elif name == "fused":
+        # recurse into the fused sub-stages so the generated inputs
+        # exercise their literals (grep patterns, cut delimiters, ...)
+        from ...unixsim.fused import fused_sub_argvs
+
+        for sub in fused_sub_argvs(argv):
+            _extract_literals(sub, rng, profile)
     elif name == "cut":
         for i, a in enumerate(argv):
             if a == "-d" and i + 1 < len(argv):
@@ -203,9 +210,11 @@ def build_profile(cmd: Command, rng: random.Random) -> CommandProfile:
     _extract_literals(cmd.argv, rng, profile)
 
     if cmd.name == "sort":
-        flags = [a for a in cmd.argv[1:]
-                 if a.startswith("-") and a not in ("-m",)
-                 and not a.startswith("--parallel")]
+        from ...unixsim.sort import split_sort_args
+
+        flags, _positional = split_sort_args(cmd.argv[1:])
+        flags = [a for a in flags
+                 if a != "-m" and not a.startswith("--parallel")]
         profile.merge_flags = " ".join(flags)
 
     # make the synthetic files visible to the command under test

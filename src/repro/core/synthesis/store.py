@@ -190,7 +190,20 @@ def context_fingerprint(command: Command) -> int:
 def synthesis_memo_key(command: Command,
                        config: Optional[SynthesisConfig] = None,
                        context_fp: Optional[int] = None) -> tuple:
-    return (command.key(), command.backend, _config_fingerprint(config),
+    # memoize sim commands by *canonical* argv: flag-spelling variants
+    # (`sort -rn` / `sort -nr`, `head -5` / `head -n 5`) synthesize
+    # identically, so they share one memo entry (lazy import: the
+    # optimizer package pulls in the planner, which imports this
+    # module).  Subprocess-backed commands keep the exact argv — their
+    # semantics belong to the real binary, which may distinguish
+    # spellings the sim collapses (`-k2,3` vs `-k2,5`, `-g`, ...).
+    if command.backend == "sim":
+        from ...optimizer.canonical import canonical_argv
+
+        key_argv = tuple(canonical_argv(command.argv))
+    else:
+        key_argv = command.key()
+    return (key_argv, command.backend, _config_fingerprint(config),
             context_fp if context_fp is not None
             else context_fingerprint(command))
 

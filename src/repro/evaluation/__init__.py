@@ -2,9 +2,12 @@
 
 from . import paper_data
 from .performance import (
+    OptimizerMeasurement,
     ScriptPerformance,
     measure_all,
+    measure_optimizer,
     measure_script,
+    optimizer_table,
     table1,
     table4,
     table5,
@@ -24,8 +27,9 @@ from .synthesis_sweep import (
 )
 
 __all__ = [
-    "ScriptPerformance", "StageAccounting", "SweepSummary", "account_all",
-    "account_script", "classify_combiner", "measure_all", "measure_script",
+    "OptimizerMeasurement", "ScriptPerformance", "StageAccounting",
+    "SweepSummary", "account_all", "account_script", "classify_combiner",
+    "measure_all", "measure_optimizer", "measure_script", "optimizer_table",
     "paper_data", "render_table", "speedup", "summarize", "sweep_commands",
     "table1", "table3", "table4", "table5", "table6", "table7", "table8",
     "table9", "table10",

@@ -383,3 +383,87 @@ def table1(perfs: List[ScriptPerformance], k: int = 16) -> str:
         ("Benchmark", "Script", "Parallelized", "Eliminated",
          "T_orig", "u1", f"u{k}", f"T{k}"), rows,
         title="Table 1: two longest-running scripts per suite")
+
+
+# ---------------------------------------------------------------------------
+# pipeline optimizer: rewrite-engine impact under the cost model
+
+
+@dataclass
+class OptimizerMeasurement:
+    """Modeled cost of one pipeline with and without the rewrite engine."""
+
+    suite: str
+    name: str
+    pipeline: str
+    chosen: str
+    rewrites: int
+    k: int
+    plain_seconds: float
+    optimized_seconds: float
+    outputs_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_seconds <= 0:
+            return float("nan")
+        return self.plain_seconds / self.optimized_seconds
+
+
+def measure_optimizer(script: BenchmarkScript, k: int = 4,
+                      cache: Optional[SynthCache] = None,
+                      scale: int = 2000, seed: int = 3,
+                      config: Optional[SynthesisConfig] = None,
+                      pipeline_index: int = 0,
+                      repeats: int = 3) -> OptimizerMeasurement:
+    """Cost-model one script pipeline as written vs optimizer-chosen.
+
+    Both plans execute every chunk for real (the measured cost model),
+    so outputs are compared byte-for-byte as a safety check alongside
+    the modeled seconds.  Each plan is priced best-of-``repeats`` to
+    suppress scheduler noise.
+    """
+    from ..optimizer import select_plan
+    from ..parallel.planner import compile_pipeline, synthesize_pipeline
+    from ..shell.pipeline import Pipeline
+    from ..workloads.runner import build_context
+    from .costmodel import simulate_plan
+
+    cache = cache if cache is not None else {}
+    text = script.pipelines[pipeline_index].text
+    context = build_context(script, scale, seed)
+    pipeline = Pipeline.from_string(text, env=script.env, context=context)
+    synthesize_pipeline(pipeline, config=config, cache=cache)
+    plain_plan = compile_pipeline(pipeline, cache, optimize=True)
+
+    opt_pipeline = Pipeline.from_string(
+        text, env=script.env, context=build_context(script, scale, seed))
+    chosen_plan, optimization = select_plan(opt_pipeline, k=k, config=config,
+                                            cache=cache,
+                                            cost_repeats=max(1, repeats))
+
+    plain = chosen = None
+    plain_secs = chosen_secs = float("inf")
+    for _ in range(max(1, repeats)):
+        plain = simulate_plan(plain_plan, k)
+        chosen = simulate_plan(chosen_plan, k)
+        plain_secs = min(plain_secs, plain.modeled_seconds)
+        chosen_secs = min(chosen_secs, chosen.modeled_seconds)
+    return OptimizerMeasurement(
+        suite=script.suite, name=script.name, pipeline=pipeline.render(),
+        chosen=optimization.chosen, rewrites=optimization.rewrites, k=k,
+        plain_seconds=plain_secs,
+        optimized_seconds=chosen_secs,
+        outputs_match=plain.output == chosen.output)
+
+
+def optimizer_table(measurements: List[OptimizerMeasurement]) -> str:
+    rows = [(m.suite, m.name, m.rewrites, f"k={m.k}",
+             _fmt(m.plain_seconds), _fmt(m.optimized_seconds),
+             f"{m.speedup:.2f}x", "yes" if m.outputs_match else "NO")
+            for m in measurements]
+    return render_table(
+        ("Benchmark", "Script", "Rewrites", "k", "As written", "Optimized",
+         "Speedup", "Identical"),
+        rows, title="Pipeline optimizer: modeled cost, rewrite engine "
+                    "on vs off")

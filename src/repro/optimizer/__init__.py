@@ -1,0 +1,49 @@
+"""Pipeline optimizer: a database-style rewrite layer ahead of planning.
+
+The subsystem sits between parsing (:mod:`repro.shell`) and synthesis/
+planning (:mod:`repro.parallel.planner`):
+
+1. the **canonicalizer** (:mod:`repro.optimizer.canonical`) normalizes
+   flag spellings and renders pipelines stably, so caches key on
+   semantic rather than textual identity;
+2. the **rule engine** (:mod:`repro.optimizer.rules` /
+   :mod:`repro.optimizer.engine`) enumerates equivalent pipelines via
+   semantics-justified rewrites, each carrying a legality predicate;
+3. the **cost-based selector** (:mod:`repro.optimizer.selector`)
+   prices every candidate with the measured cost model and picks the
+   plan predicted fastest.
+
+``parallelize(optimize=True)``, the service's PlanCache, and the CLI
+(``repro explain`` / ``--optimize`` / ``--no-optimize``) all route
+through :func:`select_plan`.
+"""
+
+from .canonical import (
+    canonical_argv,
+    canonical_render,
+    canonical_text,
+    canonicalize,
+)
+from .engine import (
+    Candidate,
+    MAX_CANDIDATES,
+    MAX_DEPTH,
+    RewriteStep,
+    enumerate_candidates,
+    rewritable,
+)
+from .rules import RULES
+from .selector import (
+    PipelineOptimization,
+    REFERENCE_K,
+    SAMPLE_BYTES,
+    select_plan,
+    trim_sample,
+)
+
+__all__ = [
+    "Candidate", "MAX_CANDIDATES", "MAX_DEPTH", "PipelineOptimization",
+    "REFERENCE_K", "RULES", "RewriteStep", "SAMPLE_BYTES", "canonical_argv",
+    "canonical_render", "canonical_text", "canonicalize",
+    "enumerate_candidates", "rewritable", "select_plan", "trim_sample",
+]

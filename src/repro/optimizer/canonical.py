@@ -1,0 +1,175 @@
+"""Canonicalization: semantic identity for pipelines and commands.
+
+Two layers:
+
+* :func:`canonical_argv` normalizes one command's flags to a single
+  spelling — ``sort -rn`` / ``sort -nr`` / ``sort -n -r``, ``head -5``
+  / ``head -n5`` / ``head -n 5``, ``grep -v -i P`` / ``grep -iv P``
+  all map to one argv.  Only *provably* equivalent spellings are
+  merged: normalization is derived from the parsed simulated command
+  (the same object that defines the command's semantics), and any
+  argv the registry cannot parse is returned unchanged.
+* :func:`canonical_render` renders a whole pipeline in canonical form;
+  the synthesis memo, the service's PlanCache, and the rewrite
+  engine's candidate dedup all key on it, so textual variants of one
+  pipeline share compiled work.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from ..shell.command import Command
+from ..shell.pipeline import Pipeline
+from ..unixsim import SortSpec, build
+from ..unixsim.grep_cmd import Grep
+from ..unixsim.head_tail import Head, Tail
+from ..unixsim.misc import Cat
+from ..unixsim.sort import Sort
+from ..unixsim.topk import TopK
+from ..unixsim.wc import Wc
+
+__all__ = [
+    "canonical_argv",
+    "canonical_render",
+    "canonical_text",
+    "canonicalize",
+    "sort_spec_argv",
+]
+
+
+def sort_spec_argv(spec: SortSpec) -> List[str]:
+    """Render a :class:`SortSpec` as a canonical flag argv (no command)."""
+    out: List[str] = []
+    flags = ""
+    if spec.merge:
+        flags += "m"
+    if spec.numeric and spec.key_field is None:
+        flags += "n"
+    if spec.reverse:
+        flags += "r"
+    if spec.fold:
+        flags += "f"
+    if spec.unique:
+        flags += "u"
+    if flags:
+        out.append("-" + flags)
+    if spec.separator is not None:
+        # attached form when possible: the synthesis preprocessor reads
+        # flags positionally and must not see a dangling -t/-k
+        if len(spec.separator) == 1:
+            out.append("-t" + spec.separator)
+        else:
+            out.extend(["-t", spec.separator])
+    if spec.key_field is not None:
+        out.append(f"-k{spec.key_field}{'n' if spec.numeric else ''}")
+    return out
+
+
+def canonical_argv(argv: List[str]) -> List[str]:
+    """One canonical spelling for every equivalent flag arrangement.
+
+    Falls back to the argv unchanged when the command is not simulated
+    or does not parse — canonicalization must never reject something
+    execution would accept.  Results are memoized per argv: the
+    synthesis memo keys every lookup through here, and rebuilding the
+    simulated command (regex compilation for grep/sed) on each key
+    computation would be pure waste.
+    """
+    return list(_canonical_argv(tuple(argv)))
+
+
+@lru_cache(maxsize=4096)
+def _canonical_argv(argv: Tuple[str, ...]) -> Tuple[str, ...]:
+    return tuple(_normalize(argv))
+
+
+def _normalize(argv: Tuple[str, ...]) -> List[str]:
+    # any parse failure — UsageError or a crashing parser (int() on a
+    # malformed count) — leaves the argv unchanged: canonicalization
+    # must never reject something execution would accept
+    try:
+        cmd = build(list(argv))
+    except Exception:
+        return list(argv)
+    if isinstance(cmd, TopK):
+        return [argv[0], str(cmd.n)] + sort_spec_argv(cmd.spec)
+    if isinstance(cmd, Sort):
+        return [argv[0]] + sort_spec_argv(cmd.spec) + list(cmd.inputs)
+    if isinstance(cmd, Grep):
+        import re
+
+        flags = ""
+        if cmd.count:
+            flags += "c"
+        if cmd.regex.flags & re.IGNORECASE:
+            flags += "i"
+        if cmd.invert:
+            flags += "v"
+        out = [argv[0]]
+        if flags:
+            out.append("-" + flags)
+        out.append(cmd.pattern)
+        return out
+    if isinstance(cmd, Head):
+        return [argv[0], "-n", str(cmd.n)]
+    if isinstance(cmd, Tail):
+        return [argv[0], "-n", f"+{cmd.n}" if cmd.from_start else str(cmd.n)]
+    if isinstance(cmd, Wc):
+        if cmd.lines and cmd.words and cmd.chars and len(argv) == 1:
+            return [argv[0]]
+        flags = ("l" if cmd.lines else "") + ("w" if cmd.words else "") \
+            + ("c" if cmd.chars else "")
+        return [argv[0], "-" + flags] if flags else [argv[0]]
+    if isinstance(cmd, Cat):
+        # only `cat -` alone is plain stdin pass-through; with other
+        # operands (or repeated) each `-` splices the stream in place,
+        # so those spellings must keep their distinct identities
+        if cmd.files == ["-"]:
+            return [argv[0]]
+        return list(argv)
+    return list(argv)
+
+
+def canonicalize(pipeline: Pipeline) -> Pipeline:
+    """A pipeline with every stage argv in canonical spelling."""
+    commands = []
+    changed = False
+    for cmd in pipeline.commands:
+        argv = canonical_argv(cmd.argv)
+        if argv != cmd.argv:
+            changed = True
+            commands.append(Command(argv, backend=cmd.backend,
+                                    context=cmd.context))
+        else:
+            commands.append(cmd)
+    if not changed:
+        return pipeline
+    return Pipeline(commands, input_file=pipeline.input_file,
+                    context=pipeline.context, source=pipeline.source)
+
+
+def canonical_render(pipeline: Pipeline) -> str:
+    """Canonical textual identity of a pipeline (see module docstring)."""
+    return canonicalize(pipeline).render()
+
+
+def canonical_text(text: str, env: Optional[dict] = None,
+                   backend: str = "sim") -> str:
+    """Parse ``text`` and return its canonical render.
+
+    Used by the service's PlanCache so whitespace/quoting/flag-spelling
+    variants of one submitted pipeline share a cache entry.  Memoized:
+    the key is computed on every cache lookup, and a tenant hammering
+    the warm path should not re-parse its pipeline per request.
+    """
+    return _canonical_text(text,
+                           tuple(sorted((env or {}).items())), backend)
+
+
+@lru_cache(maxsize=1024)
+def _canonical_text(text: str, env_items: Tuple[Tuple[str, str], ...],
+                    backend: str) -> str:
+    return canonical_render(Pipeline.from_string(text, env=dict(env_items),
+                                                 backend=backend))

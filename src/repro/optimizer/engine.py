@@ -1,0 +1,132 @@
+"""Bounded rewrite search: equivalent pipeline candidates + traces.
+
+Starting from the canonicalized pipeline, the engine applies the rule
+catalog breadth-first, deduplicating candidates by canonical render,
+until ``max_depth`` rewrites have been chained or ``max_candidates``
+distinct pipelines exist.  Every candidate carries the
+:class:`RewriteStep` path that produced it — the trace surfaced by
+``repro explain`` and the unit tests.
+
+The engine is *pure rewriting*: no synthesis, no execution.  Choosing
+among the candidates is the cost-model selector's job
+(:mod:`repro.optimizer.selector`); checking they really are equivalent
+is the differential harness's (``tests/optimizer/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..shell.command import Command
+from ..shell.pipeline import Pipeline
+from .canonical import canonical_argv, canonicalize
+from .rules import RULES
+
+#: default search bounds (kept small: rule chains longer than a few
+#: steps do not occur in the benchmark population)
+MAX_DEPTH = 4
+MAX_CANDIDATES = 24
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One rule application in a candidate's derivation."""
+
+    rule: str
+    index: int
+    before: str
+    after: str
+
+    def describe(self) -> str:
+        after = self.after if self.after else "(dropped)"
+        return f"{self.rule} @ stage {self.index}: {self.before} => {after}"
+
+
+@dataclass
+class Candidate:
+    """An equivalent pipeline plus the rewrite path that produced it."""
+
+    pipeline: Pipeline
+    steps: List[RewriteStep] = field(default_factory=list)
+
+    @property
+    def render(self) -> str:
+        return self.pipeline.render()
+
+    @property
+    def rewrites(self) -> int:
+        return len(self.steps)
+
+
+def _display(argvs: List[List[str]]) -> str:
+    import shlex
+
+    return " | ".join(" ".join(shlex.quote(t) for t in argv)
+                      for argv in argvs)
+
+
+def _rebuild(base: Pipeline, argvs: List[List[str]]) -> Pipeline:
+    commands = [Command(argv, backend="sim", context=base.context)
+                for argv in argvs]
+    return Pipeline(commands, input_file=base.input_file,
+                    context=base.context, source=base.source)
+
+
+def rewritable(pipeline: Pipeline) -> bool:
+    """Rewrites only apply to fully simulated pipelines: the rewritten
+    stages (``topk``, ``fused``) exist only in the ``sim`` substrate."""
+    return all(cmd.backend == "sim" for cmd in pipeline.commands)
+
+
+def enumerate_candidates(pipeline: Pipeline,
+                         max_depth: int = MAX_DEPTH,
+                         max_candidates: int = MAX_CANDIDATES
+                         ) -> List[Candidate]:
+    """All distinct rewrite results reachable within the bounds.
+
+    The first element is always the canonicalized original (zero
+    steps); the rest are in breadth-first discovery order, deduplicated
+    by canonical render.
+    """
+    if not rewritable(pipeline) or not pipeline.commands:
+        # subprocess-backed stages keep their exact argvs: the sim's
+        # canonicalization collapses spellings real binaries
+        # distinguish (`sort -k2,3` vs `sort -k2`)
+        return [Candidate(pipeline)]
+    root = canonicalize(pipeline)
+    root_argvs = [list(cmd.argv) for cmd in root.commands]
+    seen = {_display(root_argvs)}
+    out = [Candidate(root)]
+    frontier = [(root_argvs, [])]
+    depth = 0
+    while frontier and depth < max_depth and len(out) < max_candidates:
+        depth += 1
+        next_frontier = []
+        for argvs, steps in frontier:
+            for rule in RULES:
+                for index, width, replacement in rule.scan(argvs):
+                    replacement = [canonical_argv(argv)
+                                   for argv in replacement]
+                    rewritten = argvs[:index] + replacement \
+                        + argvs[index + width:]
+                    key = _display(rewritten)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    step = RewriteStep(
+                        rule=rule.name, index=index,
+                        before=_display(argvs[index:index + width]),
+                        after=_display(replacement))
+                    path = steps + [step]
+                    try:
+                        candidate = Candidate(_rebuild(pipeline, rewritten),
+                                              steps=path)
+                    except Exception:
+                        continue  # replacement failed to build: skip it
+                    out.append(candidate)
+                    next_frontier.append((rewritten, path))
+                    if len(out) >= max_candidates:
+                        return out
+        frontier = next_frontier
+    return out

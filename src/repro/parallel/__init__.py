@@ -33,6 +33,7 @@ from .streaming import (
     StageTrace,
     merge_intervals,
     overlap_seconds,
+    prefix_limit,
     run_chunk_pipelined,
 )
 
@@ -42,6 +43,6 @@ __all__ = [
     "RERUN_REDUCTION_THRESHOLD", "RunStats", "RunnerPool", "SEQUENTIAL",
     "SERIAL", "STREAMING", "StagePlan", "StageRunner", "StageStats",
     "StageTrace", "THREADS", "compile_pipeline", "merge_intervals",
-    "overlap_seconds", "plan_stage", "run_chunk_pipelined",
+    "overlap_seconds", "plan_stage", "prefix_limit", "run_chunk_pipelined",
     "run_stats_from_dict", "split_stream", "synthesize_pipeline",
 ]

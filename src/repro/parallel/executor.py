@@ -72,6 +72,12 @@ class RunStats:
     engine: str
     data_plane: str = BARRIER
     seconds: float = 0.0
+    #: the rewrite engine changed the executed pipeline (rewrites > 0);
+    #: matches the service's ``jobs_optimized`` counter and loadgen's
+    #: per-job ``optimized`` flag
+    optimized: bool = False
+    #: rewrite-engine rules applied to the executed pipeline
+    rewrites: int = 0
     stages: List[StageStats] = field(default_factory=list)
 
     @property
@@ -91,6 +97,7 @@ class RunStats:
         return {
             "k": self.k, "engine": self.engine,
             "data_plane": self.data_plane, "seconds": self.seconds,
+            "optimized": self.optimized, "rewrites": self.rewrites,
             "total_overlap": self.total_overlap,
             "bytes_in": self.bytes_in, "bytes_out": self.bytes_out,
             "stages": [s.to_dict() for s in self.stages],
@@ -103,6 +110,8 @@ def run_stats_from_dict(data: dict) -> RunStats:
         k=data["k"], engine=data["engine"],
         data_plane=data.get("data_plane", BARRIER),
         seconds=data.get("seconds", 0.0),
+        optimized=data.get("optimized", False),
+        rewrites=data.get("rewrites", 0),
         stages=[StageStats(
             display=s["display"], mode=s["mode"],
             eliminated=s.get("eliminated", False),
@@ -150,6 +159,8 @@ class ParallelPipeline:
                 self.plan, self.k, runner, initial,
                 queue_depth=self.queue_depth))
         stats = RunStats(k=self.k, engine=self.engine, data_plane=STREAMING,
+                         optimized=self.plan.rewrites > 0,
+                         rewrites=self.plan.rewrites,
                          stages=self._fold_traces(traces))
         stats.seconds = time.perf_counter() - start
         self.last_stats = stats
@@ -176,7 +187,9 @@ class ParallelPipeline:
         pipeline = self.plan.pipeline
         stream: Optional[str] = pipeline._initial_stream(data)
         chunks: Optional[List[str]] = None
-        stats = RunStats(k=self.k, engine=self.engine, data_plane=BARRIER)
+        stats = RunStats(k=self.k, engine=self.engine, data_plane=BARRIER,
+                         optimized=self.plan.rewrites > 0,
+                         rewrites=self.plan.rewrites)
         start = time.perf_counter()
 
         def run_all(runner: StageRunner) -> str:

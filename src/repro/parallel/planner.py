@@ -62,6 +62,10 @@ class PipelinePlan:
     pipeline: Pipeline
     stages: List[StagePlan]
     optimized: bool
+    #: rewrite-engine provenance (set by the optimizer's selector when
+    #: the plan came out of :func:`repro.optimizer.select_plan`)
+    rewrites: int = 0
+    rewrite_trace: List[str] = field(default_factory=list)
 
     @property
     def parallelized(self) -> int:
@@ -107,13 +111,22 @@ def plan_stage(command: Command, result: Optional[SynthesisResult],
     return StagePlan(command, PARALLEL, combiner=kway, synthesis=result)
 
 
+def trim_stream(stream: str, max_bytes: int) -> str:
+    """A line-aligned prefix of ``stream`` of at most ``max_bytes``.
+
+    The one sampling policy shared by reduction-ratio profiling and the
+    optimizer's cost-model selection.
+    """
+    if len(stream) <= max_bytes:
+        return stream
+    cut = stream.rfind("\n", 0, max_bytes)
+    return stream[: cut + 1] if cut != -1 else stream[:max_bytes]
+
+
 def profile_stage_reductions(pipeline: Pipeline, sample_input: str,
                              max_bytes: int = 200_000) -> List[Optional[float]]:
     """Per-stage output/input size ratios on (a prefix of) real data."""
-    if len(sample_input) > max_bytes:
-        cut = sample_input.rfind("\n", 0, max_bytes)
-        sample_input = sample_input[: cut + 1] if cut != -1 \
-            else sample_input[:max_bytes]
+    sample_input = trim_stream(sample_input, max_bytes)
     ratios: List[Optional[float]] = []
     stream = sample_input
     for cmd in pipeline.commands:

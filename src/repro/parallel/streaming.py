@@ -58,6 +58,8 @@ from collections import deque
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..core.dsl.semantics import EvalEnv
+from ..unixsim.head_tail import Head
+from ..unixsim.sed_cmd import SedQuit
 from .planner import PipelinePlan, StagePlan
 from .runner import SERIAL, StageRunner
 from .splitter import split_stream
@@ -115,8 +117,54 @@ def split_count(stages: Sequence["StagePlan"], index: int, k: int,
     return stream_chunk_count(nbytes, k)
 
 
+def _gather_prefix(chunks: Iterator[str], limit: int,
+                   trace: StageTrace) -> str:
+    """Accumulate incoming chunks until they hold ``limit`` lines.
+
+    The single definition of the early-exit prefix for both engines:
+    chunks are line-aligned, so once the accumulated newline count
+    reaches ``limit`` the prefix contains every line the stage's
+    output depends on.
+    """
+    if limit <= 0:
+        return ""  # output is fixed before reading anything
+    parts: List[str] = []
+    newlines = 0
+    for chunk in chunks:
+        trace.bytes_in += len(chunk)
+        trace.chunks += 1
+        parts.append(chunk)
+        newlines += chunk.count("\n")
+        if newlines >= limit:
+            break
+    return "".join(parts)
+
+
 class _Abort(Exception):
     """Internal: another stage failed; unwind this pump quietly."""
+
+
+class _Cancelled(Exception):
+    """Internal: the downstream stage needs no more input (early exit)."""
+
+
+def prefix_limit(command) -> Optional[int]:
+    """Lines after which a stage's output is fixed, or ``None``.
+
+    ``head -n N`` and ``sed Nq`` depend only on the first ``N`` input
+    lines; once a streaming run has gathered that many, upstream chunk
+    production is cancelled instead of draining the whole input.  The
+    optimizer's ``topk`` rule shares this definition of
+    "prefix-limited", so the two features never disagree on which
+    stages qualify.  Accepts a :class:`~repro.shell.command.Command`
+    or a bare simulated command.
+    """
+    sim = getattr(command, "_sim", command)
+    if isinstance(sim, Head):
+        return max(sim.n, 0)
+    if isinstance(sim, SedQuit):
+        return sim.n
+    return None
 
 
 class StageTrace:
@@ -204,6 +252,20 @@ def _serial_stage(stages: Sequence[StagePlan], index: int, trace: StageTrace,
                   upstream: Iterator[str], chunked: bool,
                   k: int) -> Tuple[Iterator[str], bool]:
     stage = stages[index]
+    limit = None if stage.eliminated else prefix_limit(stage.command)
+    if limit is not None:
+        def early() -> Iterator[str]:
+            # pull chunks only until the prefix is complete; in the
+            # generator pull model, not pulling *is* the cancellation —
+            # upstream stages never compute the rest of the stream
+            data = _gather_prefix(upstream, limit, trace)
+            t0 = time.perf_counter()
+            out = stage.command.run(data)
+            trace.record(t0, time.perf_counter())
+            trace.bytes_out += len(out)
+            yield out
+        return early(), False
+
     if stage.mode == "sequential":
         def sequential() -> Iterator[str]:
             data = "".join(upstream)
@@ -264,24 +326,42 @@ def _run_serial(plan: PipelinePlan, k: int, traces: List[StageTrace],
 # threaded engines: pump thread per stage, bounded queues between stages
 
 
-def _put(q: "queue.Queue", item: object, abort: threading.Event) -> None:
+class _Link:
+    """A bounded chunk queue plus a consumer-side cancellation flag.
+
+    A downstream stage that early-exits (:func:`prefix_limit`) sets
+    ``cancelled``; the producer's next :func:`_put` raises
+    :class:`_Cancelled`, which cascades the cancellation upstream
+    instead of letting producers block on a queue nobody drains.
+    """
+
+    __slots__ = ("q", "cancelled")
+
+    def __init__(self, depth: int) -> None:
+        self.q: "queue.Queue" = queue.Queue(maxsize=depth)
+        self.cancelled = threading.Event()
+
+
+def _put(link: _Link, item: object, abort: threading.Event) -> None:
     while True:
         if abort.is_set():
             raise _Abort()
+        if link.cancelled.is_set():
+            raise _Cancelled()
         try:
-            q.put(item, timeout=0.05)
+            link.q.put(item, timeout=0.05)
             return
         except queue.Full:
             continue
 
 
-def _iter_queue(q: "queue.Queue",
+def _iter_queue(link: _Link,
                 abort: threading.Event) -> Iterator[str]:
     while True:
         if abort.is_set():
             raise _Abort()
         try:
-            item = q.get(timeout=0.05)
+            item = link.q.get(timeout=0.05)
         except queue.Empty:
             continue
         if item is _DONE:
@@ -290,11 +370,26 @@ def _iter_queue(q: "queue.Queue",
 
 
 def _pump(stages: Sequence[StagePlan], index: int, trace: StageTrace,
-          in_q: "queue.Queue", out_q: "queue.Queue", chunked_in: bool,
+          in_q: _Link, out_q: _Link, chunked_in: bool,
           k: int, runner: StageRunner, abort: threading.Event,
           errors: List[BaseException]) -> None:
     stage = stages[index]
+    limit = None if stage.eliminated else prefix_limit(stage.command)
     try:
+        if limit is not None:
+            # early exit: stop consuming once the prefix the command
+            # depends on is complete, then cancel upstream production
+            # (a no-op when the stream already ended naturally)
+            data = _gather_prefix(_iter_queue(in_q, abort), limit, trace)
+            in_q.cancelled.set()
+            t0 = time.perf_counter()
+            out = stage.command.run(data)
+            trace.record(t0, time.perf_counter())
+            trace.bytes_out += len(out)
+            _put(out_q, out, abort)
+            _put(out_q, _DONE, abort)
+            return
+
         if stage.mode == "sequential":
             data = "".join(_iter_queue(in_q, abort))
             trace.bytes_in += len(data)
@@ -350,6 +445,10 @@ def _pump(stages: Sequence[StagePlan], index: int, trace: StageTrace,
         _put(out_q, _DONE, abort)
     except _Abort:
         pass
+    except _Cancelled:
+        # downstream early-exited: stop producing and cascade the
+        # cancellation so our own upstream unwinds too
+        in_q.cancelled.set()
     except BaseException as exc:  # noqa: BLE001 - ferried to the caller
         errors.append(exc)
         abort.set()
@@ -360,7 +459,7 @@ def _run_threaded(plan: PipelinePlan, k: int, traces: List[StageTrace],
                   queue_depth: int) -> str:
     stages = plan.stages
     depth = queue_depth
-    links = [queue.Queue(maxsize=depth) for _ in range(len(stages) + 1)]
+    links = [_Link(depth) for _ in range(len(stages) + 1)]
     abort = threading.Event()
     errors: List[BaseException] = []
     pumps = [
@@ -375,8 +474,11 @@ def _run_threaded(plan: PipelinePlan, k: int, traces: List[StageTrace],
         pump.start()
     parts: List[str] = []
     try:
-        _put(links[0], initial, abort)
-        _put(links[0], _DONE, abort)
+        try:
+            _put(links[0], initial, abort)
+            _put(links[0], _DONE, abort)
+        except _Cancelled:
+            pass  # stage 0 early-exited before draining the source
         parts = list(_iter_queue(links[-1], abort))
     except _Abort:
         pass

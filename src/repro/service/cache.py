@@ -50,15 +50,26 @@ def plan_cache_key(request: JobRequest,
                    config: Optional[SynthesisConfig] = None) -> tuple:
     """Hashable identity of everything plan compilation observes.
 
-    File contents enter via a cryptographic digest, not ``hash()``:
-    two tenants' jobs may share a cached plan (and the filesystem
-    embedded in it) only when their files really are byte-identical,
-    so the fingerprint must not have a practical collision class.
+    The pipeline enters via its **canonical render**
+    (:func:`repro.optimizer.canonical_text`), so whitespace, quoting,
+    and flag-spelling variants of one pipeline (``sort -rn`` vs
+    ``sort -nr``) share a cache entry instead of each paying a cold
+    compile.  File contents enter via a cryptographic digest, not
+    ``hash()``: two tenants' jobs may share a cached plan (and the
+    filesystem embedded in it) only when their files really are
+    byte-identical, so the fingerprint must not have a practical
+    collision class.
     """
+    from ..optimizer import canonical_text
+
     if config is None:
         config = _default_config(request)
+    try:
+        pipeline_id = canonical_text(request.pipeline, env=request.env)
+    except Exception:
+        pipeline_id = request.pipeline  # unparsable: fall back to the text
     return (
-        request.pipeline,
+        pipeline_id,
         tuple(sorted(request.env.items())),
         fs_digest(request.files),
         tuple(sorted(dataclasses.asdict(config).items())),
@@ -135,6 +146,12 @@ class PlanCache:
         context = ExecContext(fs=dict(request.files), env=dict(request.env))
         pipeline = Pipeline.from_string(request.pipeline, env=request.env,
                                         context=context)
+        if request.optimize:
+            from ..optimizer import select_plan
+
+            plan, _optimization = select_plan(pipeline, config=config,
+                                              store=self.store)
+            return plan
         results = synthesize_pipeline(pipeline, config=config,
                                       store=self.store)
         return compile_pipeline(pipeline, results, optimize=request.optimize)

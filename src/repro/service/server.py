@@ -107,6 +107,7 @@ class ReproService:
         self._history: List[str] = []    # finished job ids, oldest first
         self._jobs_lock = threading.Lock()
         self._counts = {JOB_DONE: 0, JOB_FAILED: 0}
+        self._optimizer = {"jobs_optimized": 0, "rewrites_applied": 0}
         self._stage_totals: Dict[str, Dict[str, float]] = {}
         self._started_at = time.time()
         self._stopped = False
@@ -174,6 +175,9 @@ class ReproService:
                 self._jobs.pop(self._history.pop(0), None)
             if result.stats is None:
                 return
+            if result.stats.rewrites:
+                self._optimizer["jobs_optimized"] += 1
+                self._optimizer["rewrites_applied"] += result.stats.rewrites
             for stage in result.stats.stages:
                 agg = self._stage_totals.setdefault(
                     stage.display, {"runs": 0, "bytes_in": 0.0,
@@ -199,6 +203,7 @@ class ReproService:
         sched = self.scheduler.counts()
         with self._jobs_lock:
             done, failed = self._counts[JOB_DONE], self._counts[JOB_FAILED]
+            optimizer = dict(self._optimizer)
             per_stage = [
                 {"display": display,
                  "runs": int(agg["runs"]),
@@ -216,6 +221,7 @@ class ReproService:
                      "submitted": sched["submitted"]},
             "scheduler": sched,
             "plan_cache": self.plan_cache.stats(),
+            "optimizer": optimizer,
             "synthesis_memo": synthesis_memo_stats(),
             "runner_pool": {"created": self.runner_pool.created,
                             "reused": self.runner_pool.reused,
@@ -238,6 +244,8 @@ class ReproService:
             ("repro_plan_cache_hits", s["plan_cache"]["hits"]),
             ("repro_plan_cache_misses", s["plan_cache"]["misses"]),
             ("repro_plan_cache_entries", s["plan_cache"]["entries"]),
+            ("repro_jobs_optimized", s["optimizer"]["jobs_optimized"]),
+            ("repro_rewrites_applied", s["optimizer"]["rewrites_applied"]),
             ("repro_synthesis_memo_hits", s["synthesis_memo"]["hits"]),
             ("repro_synthesis_memo_misses", s["synthesis_memo"]["misses"]),
             ("repro_runners_created", s["runner_pool"]["created"]),

@@ -7,6 +7,7 @@ input source and excluded from the stage count.
 
 from __future__ import annotations
 
+import shlex
 from typing import Dict, List, Optional
 
 from ..unixsim import ExecContext
@@ -65,6 +66,25 @@ class Pipeline:
 
     def stage_displays(self) -> List[str]:
         return [c.display() for c in self.commands]
+
+    def render(self) -> str:
+        """Stable textual form of the parsed pipeline.
+
+        Rendering goes through the parsed argvs (``shlex``-quoted), so
+        whitespace and quoting variants of the same pipeline render
+        identically — the synthesis memo and the service's PlanCache
+        key on this instead of the raw submitted text.  The input
+        ``cat`` stage is re-emitted so the render is a runnable
+        pipeline string.
+        """
+        parts: List[str] = []
+        if self.input_file is not None:
+            parts.append("cat " + shlex.quote(self.input_file))
+        parts.extend(self.stage_displays())
+        return " | ".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
 
     def __len__(self) -> int:
         return len(self.commands)

@@ -1,0 +1,55 @@
+"""Simulated ``fused``: one stage applying several per-line stages in turn.
+
+``fused 'grep x' 'cut -c 1-2'`` behaves exactly like the pipeline
+``grep x | cut -c 1-2`` but as a single black-box stage — each argv
+element after the command name is one sub-stage, tokenized with
+:func:`shlex.split` and built through the normal registry.
+
+The optimizer's stage-fusion rule only produces ``fused`` from
+*line-local* stages (each output line depends on exactly one input
+line), so the composition keeps the ``concat`` combiner that makes the
+stage embarrassingly parallel — while one fused pass replaces several
+split/queue/combine boundaries.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import List
+
+from .base import ExecContext, SimCommand, UsageError
+
+
+class Fused(SimCommand):
+    def __init__(self, stages: List[SimCommand]) -> None:
+        super().__init__()
+        if len(stages) < 2:
+            raise UsageError("fused: need at least two sub-stages")
+        self.stages = stages
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        for stage in self.stages:
+            data = stage.run(data, ctx)
+        return data
+
+
+def fused_sub_argvs(argv: List[str]) -> List[List[str]]:
+    """The sub-stage argvs encoded in a ``fused`` command line."""
+    subs: List[List[str]] = []
+    for text in argv[1:]:
+        try:
+            tokens = shlex.split(text, posix=True)
+        except ValueError as exc:
+            raise UsageError(f"fused: cannot tokenize {text!r}: {exc}") from exc
+        if not tokens:
+            raise UsageError("fused: empty sub-stage")
+        subs.append(tokens)
+    return subs
+
+
+def parse_fused(argv: List[str]) -> Fused:
+    from .registry import build
+
+    cmd = Fused([build(sub) for sub in fused_sub_argvs(argv)])
+    cmd.argv = list(argv)
+    return cmd

@@ -9,11 +9,13 @@ from .base import SimCommand, UsageError
 from .columns import parse_expand, parse_join, parse_nl, parse_paste, parse_tac
 from .comm_cmd import parse_comm
 from .cut import parse_cut
+from .fused import parse_fused
 from .grep_cmd import parse_grep
 from .head_tail import parse_head, parse_tail
 from .misc import parse_cat, parse_col, parse_fmt, parse_iconv, parse_rev
 from .sed_cmd import parse_sed
 from .sort import parse_sort
+from .topk import parse_topk
 from .tr import parse_tr
 from .uniq import parse_uniq
 from .wc import parse_wc
@@ -42,6 +44,8 @@ PARSERS: Dict[str, Parser] = {
     "sed": parse_sed,
     "sort": parse_sort,
     "tail": parse_tail,
+    "topk": parse_topk,
+    "fused": parse_fused,
     "tr": parse_tr,
     "uniq": parse_uniq,
     "wc": parse_wc,

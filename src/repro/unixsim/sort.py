@@ -130,6 +130,31 @@ class Sort(SimCommand):
 _KEY_RE = re.compile(r"^(\d+)(?:,(\d+))?([bdfginrM]*)$")
 
 
+def split_sort_args(args: List[str]) -> Tuple[List[str], List[str]]:
+    """Split sort-style arguments into ``(flags, positional)``.
+
+    Keeps the arguments of ``-t SEP`` / ``-k SPEC`` attached to their
+    flags — shared by ``sort``/``topk`` parsing and the synthesis
+    preprocessor's merge-flag extraction, so all three agree on which
+    tokens belong to an option.
+    """
+    flags: List[str] = []
+    positional: List[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("-t", "-k") and i + 1 < len(args):
+            flags.extend(args[i : i + 2])
+            i += 2
+            continue
+        if arg.startswith("-") and arg != "-":
+            flags.append(arg)
+        else:
+            positional.append(arg)
+        i += 1
+    return flags, positional
+
+
 def parse_sort_flags(argv_flags: List[str]) -> SortSpec:
     """Parse sort option strings (without the leading command name)."""
     numeric = reverse = fold = unique = merge = False
@@ -195,21 +220,7 @@ def parse_sort_flags(argv_flags: List[str]) -> SortSpec:
 
 
 def parse_sort(argv: List[str]) -> Sort:
-    flags: List[str] = []
-    positional: List[str] = []
-    args = argv[1:]
-    i = 0
-    while i < len(args):
-        arg = args[i]
-        if arg in ("-t", "-k") and i + 1 < len(args):
-            flags.extend(args[i : i + 2])  # option with separate argument
-            i += 2
-            continue
-        if arg.startswith("-") and arg != "-":
-            flags.append(arg)
-        else:
-            positional.append(arg)
-        i += 1
+    flags, positional = split_sort_args(argv[1:])
     spec = parse_sort_flags(flags)
     inputs = [p for p in positional if p != "-"]
     cmd = Sort(spec, inputs=inputs)

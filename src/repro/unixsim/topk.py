@@ -1,0 +1,55 @@
+"""Simulated ``topk``: the optimizer's ``sort | head -n N`` fusion target.
+
+``topk N [SORT-FLAGS]`` sorts its input with the given GNU-``sort``
+flag subset and keeps the first ``N`` lines.  The command exists so
+the rewrite engine (:mod:`repro.optimizer.rules`) can turn a
+sequential ``sort FLAGS | head -n N`` (or ``sed Nq``) suffix into one
+stage whose ``rerun`` combiner is *exact*:
+
+    topk(topk(c1) ++ topk(c2)) == topk(c1 ++ c2)
+
+because every member of the global top ``N`` is necessarily in its own
+chunk's top ``N`` (this holds with ``-u`` too — dedup is idempotent and
+a chunk keeps its ``N`` smallest distinct keys).  The tiny output
+(``N`` lines out of the whole stream) drives the reduction ratio far
+below the rerun-profitability threshold, so the planner parallelizes
+it — the classic k-way top-k.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import ExecContext, SimCommand, UsageError, lines_of, unlines
+from .sort import SortSpec, parse_sort_flags, split_sort_args
+
+
+class TopK(SimCommand):
+    def __init__(self, n: int, spec: SortSpec) -> None:
+        super().__init__()
+        if n < 0:
+            raise UsageError(f"topk: N must be non-negative, got {n}")
+        if spec.merge:
+            raise UsageError("topk: -m makes no sense here")
+        self.n = n
+        self.spec = spec
+
+    def run(self, data: str, ctx: ExecContext = None) -> str:  # noqa: D102
+        if self.n == 0:
+            return ""
+        return unlines(self.spec.sort_lines(lines_of(data))[: self.n])
+
+
+def parse_topk(argv: List[str]) -> TopK:
+    """``topk N [SORT-FLAGS]`` — N is positional so sort's ``-n``
+    (numeric comparison) stays unambiguous."""
+    args = argv[1:]
+    if not args or not args[0].isdigit():
+        raise UsageError("topk: first argument must be the line count N")
+    n = int(args[0])
+    flags, positional = split_sort_args(args[1:])
+    if positional:
+        raise UsageError(f"topk: unsupported argument {positional[0]!r}")
+    cmd = TopK(n, parse_sort_flags(flags))
+    cmd.argv = list(argv)
+    return cmd

@@ -32,6 +32,8 @@ class JobOutcome:
     latency_seconds: float
     request_index: int = -1      # position in the submitted request list
     plan_cache: Optional[str] = None
+    optimized: bool = False      # the rewrite engine changed the pipeline
+    rewrites: int = 0
     output: Optional[str] = None
     error: Optional[str] = None
 
@@ -64,6 +66,15 @@ class LoadReport:
     def cache_hit_rate(self) -> float:
         hits = sum(1 for o in self.outcomes if o.plan_cache == "hit")
         return hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def optimized_jobs(self) -> int:
+        """Jobs whose pipeline the rewrite engine changed."""
+        return sum(1 for o in self.outcomes if o.optimized)
+
+    @property
+    def rewrites_applied(self) -> int:
+        return sum(o.rewrites for o in self.outcomes)
 
     def latency_percentile(self, q: float) -> float:
         """Client-observed submit-to-done latency at quantile ``q``."""
@@ -146,6 +157,8 @@ def run_load(address: str, requests: Sequence[JobRequest],
                     latency_seconds=time.perf_counter() - t0,
                     request_index=req_index,
                     plan_cache=result.plan_cache,
+                    optimized=bool(result.stats and result.stats.rewrites),
+                    rewrites=result.stats.rewrites if result.stats else 0,
                     output=result.output if (keep_outputs
                                              and result.output is not None)
                     else None,

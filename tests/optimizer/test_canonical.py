@@ -1,0 +1,116 @@
+"""Canonicalizer: flag normalization and stable pipeline rendering."""
+
+import pytest
+
+from repro.optimizer import canonical_argv, canonical_text
+from repro.service.cache import plan_cache_key
+from repro.service.protocol import JobRequest
+from repro.shell.command import Command
+from repro.shell.pipeline import Pipeline
+from repro.core.synthesis.store import synthesis_memo_key
+
+
+@pytest.mark.parametrize("variants,expected", [
+    ([["sort", "-rn"], ["sort", "-nr"], ["sort", "-n", "-r"]],
+     ["sort", "-nr"]),
+    ([["sort"], ["sort", "-"]], ["sort"]),
+    ([["sort", "-k1n"], ["sort", "-k", "1n"], ["sort", "-n", "-k1"]],
+     ["sort", "-k1n"]),
+    ([["sort", "-t", ","], ["sort", "-t,"]], ["sort", "-t,"]),
+    ([["head", "-5"], ["head", "-n5"], ["head", "-n", "5"]],
+     ["head", "-n", "5"]),
+    ([["head"]], ["head", "-n", "10"]),
+    ([["tail", "+2"], ["tail", "-n", "+2"], ["tail", "-n+2"]],
+     ["tail", "-n", "+2"]),
+    ([["tail", "-3"], ["tail", "-n", "3"]], ["tail", "-n", "3"]),
+    ([["grep", "-v", "-i", "foo"], ["grep", "-iv", "foo"],
+      ["grep", "-vi", "foo"], ["grep", "-i", "-v", "-e", "foo"]],
+     ["grep", "-iv", "foo"]),
+    ([["wc", "-l"], ["wc", "-l", "-l"]], ["wc", "-l"]),
+    ([["wc", "-w", "-l"], ["wc", "-lw"]], ["wc", "-lw"]),
+    ([["cat", "-"], ["cat"]], ["cat"]),
+    # each extra `-` splices stdin again: these must NOT normalize
+    ([["cat", "-", "-"]], ["cat", "-", "-"]),
+    ([["cat", "-", "b.txt"]], ["cat", "-", "b.txt"]),
+    ([["topk", "3", "-r", "-n"], ["topk", "3", "-nr"]],
+     ["topk", "3", "-nr"]),
+])
+def test_canonical_argv_merges_equivalent_spellings(variants, expected):
+    for argv in variants:
+        assert canonical_argv(argv) == expected
+
+
+def test_canonical_argv_is_idempotent():
+    for argv in (["sort", "-u", "-r"], ["grep", "-c", "x"], ["head", "-7"],
+                 ["uniq", "-c"], ["tr", "A-Z", "a-z"], ["sed", "s/a/b/"]):
+        once = canonical_argv(argv)
+        assert canonical_argv(once) == once
+
+
+def test_unknown_commands_pass_through():
+    assert canonical_argv(["frobnicate", "-x"]) == ["frobnicate", "-x"]
+
+
+def test_canonical_argv_keeps_sort_inputs():
+    assert canonical_argv(["sort", "-m", "a.txt", "b.txt"]) == \
+        ["sort", "-m", "a.txt", "b.txt"]
+
+
+def test_pipeline_render_stable_under_whitespace_and_quoting():
+    texts = [
+        "cat in.txt | sort -rn | head -5",
+        "cat  in.txt  |  sort  -n  -r |  head  -n  5",
+        'cat "in.txt" | sort -r -n | head -n5',
+    ]
+    renders = {canonical_text(t) for t in texts}
+    assert renders == {"cat in.txt | sort -nr | head -n 5"}
+
+
+def test_render_roundtrips_through_parser():
+    p = Pipeline.from_string("cat in.txt | grep 'a b' | sort")
+    assert str(p) == p.render()
+    again = Pipeline.from_string(p.render())
+    assert again.render() == p.render()
+
+
+def test_canonical_argv_never_raises_on_malformed_argvs():
+    # parsers that crash (int('foo')) must degrade to identity, not
+    # propagate out of key computation
+    for argv in (["head", "-n", "foo"], ["tail", "-n", "x"],
+                 ["sort", "-k", "zz"], ["cut"], ["fused", "grep a"]):
+        assert canonical_argv(argv) == argv
+
+
+def test_subprocess_memo_keys_keep_exact_argv(tiny_config):
+    """The sim collapses spellings the real binaries distinguish
+    (`-k2,3` vs `-k2,5`); subprocess-backed commands must not share
+    memo entries on sim-derived identity."""
+    a = Command(["sort", "-k2,3"], backend="subprocess")
+    b = Command(["sort", "-k2,5"], backend="subprocess")
+    assert synthesis_memo_key(a, tiny_config) != \
+        synthesis_memo_key(b, tiny_config)
+    # and malformed argvs never raise during key computation
+    weird = Command(["head", "-n", "foo"], backend="subprocess")
+    assert synthesis_memo_key(weird, tiny_config)
+
+
+def test_synthesis_memo_key_shared_across_spellings(tiny_config):
+    a = Command(["sort", "-rn"])
+    b = Command(["sort", "-n", "-r"])
+    assert synthesis_memo_key(a, tiny_config) == \
+        synthesis_memo_key(b, tiny_config)
+    c = Command(["sort", "-u"])
+    assert synthesis_memo_key(a, tiny_config) != \
+        synthesis_memo_key(c, tiny_config)
+
+
+def test_plan_cache_key_shared_across_textual_variants():
+    files = {"in.txt": "b\na\n"}
+    base = JobRequest(pipeline="cat in.txt | sort -rn | head -5",
+                      files=files)
+    variant = JobRequest(pipeline="cat  in.txt | sort  -n -r | head -n 5",
+                         files=files)
+    assert plan_cache_key(base) == plan_cache_key(variant)
+    other = JobRequest(pipeline="cat in.txt | sort -rn | head -6",
+                       files=files)
+    assert plan_cache_key(base) != plan_cache_key(other)

@@ -1,0 +1,56 @@
+"""Differential harness: optimized vs unoptimized over the full corpus.
+
+Every pipeline of every benchmark script
+(:mod:`repro.workloads.scripts`) is run serially as written and
+compared byte-for-byte against **every** rewrite candidate the engine
+produces on generated inputs.  This is the optimizer's safety net: a
+rule whose legality predicate is wrong fails here on the real workload
+population, not just on unit-test toys.
+"""
+
+import pytest
+
+from repro.optimizer import enumerate_candidates
+from repro.shell.pipeline import Pipeline
+from repro.workloads.runner import build_context
+from repro.workloads.scripts import ALL_SCRIPTS
+
+SCALE = 24
+SEED = 7
+
+
+@pytest.mark.parametrize(
+    "script", ALL_SCRIPTS,
+    ids=[f"{s.suite}/{s.name}" for s in ALL_SCRIPTS])
+def test_script_candidates_byte_identical(script):
+    context = build_context(script, SCALE, SEED)
+    for sp in script.pipelines:
+        pipeline = Pipeline.from_string(sp.text, env=script.env,
+                                        context=context)
+        expected = pipeline.run()
+        for cand in enumerate_candidates(pipeline):
+            got = cand.pipeline.run()
+            assert got == expected, (
+                f"{script.suite}/{script.name}: {cand.render} diverges "
+                f"via {[s.rule for s in cand.steps]}")
+        # chain multi-pipeline scripts through their temp files, as the
+        # serial reference runner does
+        if sp.output_file is not None:
+            context.fs[sp.output_file] = expected
+
+
+def test_corpus_exercises_at_least_five_rules():
+    """Acceptance: >= 5 distinct rules fire on the real workloads."""
+    fired = {}
+    for script in ALL_SCRIPTS:
+        context = build_context(script, 4, SEED)
+        for sp in script.pipelines:
+            pipeline = Pipeline.from_string(sp.text, env=script.env,
+                                            context=context)
+            for cand in enumerate_candidates(pipeline):
+                for step in cand.steps:
+                    fired.setdefault(step.rule,
+                                     f"{script.suite}/{script.name}")
+            if sp.output_file is not None:
+                context.fs[sp.output_file] = pipeline.run()
+    assert len(fired) >= 5, fired

@@ -257,3 +257,65 @@ class TestExamplePipelines:
         text = self._example_pipeline("transit_analytics")
         self._check(text, {"telemetry.csv": datagen.transit_csv(800, seed=7)},
                     {"IN": "telemetry.csv"}, fast_config)
+
+
+class TestEarlyExit:
+    """A satisfied head/sed-Nq stage cancels upstream chunk production."""
+
+    BIG = "".join(("match " if i % 3 == 0 else "nope ") + str(i) + "\n"
+                  for i in range(40000))
+
+    def _pp(self, text, engine, fast_config, k=2):
+        # rewrite=False so the pipeline runs as written (a rewritten
+        # topk stage would hide the head stage this suite targets)
+        return parallelize(text, k=k, files={"in.txt": self.BIG},
+                           engine=engine, config=fast_config, rewrite=False)
+
+    def test_prefix_limit_detection(self, fast_config):
+        from repro.parallel import prefix_limit
+        from repro.shell.command import Command
+
+        assert prefix_limit(Command(["head", "-n", "4"])) == 4
+        assert prefix_limit(Command(["head"])) == 10
+        assert prefix_limit(Command(["sed", "5q"])) == 5
+        assert prefix_limit(Command(["tail", "-n", "4"])) is None
+        assert prefix_limit(Command(["tail", "-n", "+2"])) is None
+        assert prefix_limit(Command(["sort"])) is None
+
+    def test_serial_pull_model_skips_late_chunks(self, fast_config):
+        pp = self._pp("cat in.txt | grep match | head -n 3", SERIAL,
+                      fast_config)
+        grep = pp.plan.stages[0].command
+        before = grep.executions  # synthesis probes also count
+        assert pp.run() == "match 0\nmatch 3\nmatch 6\n"
+        total_chunks = stream_chunk_count(len(self.BIG), 2)
+        assert total_chunks > 1
+        assert grep.executions - before < total_chunks
+
+    @pytest.mark.parametrize("engine", [SERIAL, THREADS])
+    def test_output_matches_serial_reference(self, engine, fast_config):
+        for text in ("cat in.txt | grep match | head -n 3",
+                     "cat in.txt | grep match | sed 2q",
+                     "cat in.txt | head -n 5 | head -n 2",
+                     "cat in.txt | grep nope | head -n 100000"):
+            pp = self._pp(text, engine, fast_config)
+            assert pp.run() == serial_output(text, {"in.txt": self.BIG})
+
+    def test_threaded_cancellation_counts_fewer_chunks(self, fast_config):
+        pp = self._pp("cat in.txt | grep match | head -n 3", THREADS,
+                      fast_config)
+        out = pp.run()
+        assert out == "match 0\nmatch 3\nmatch 6\n"
+        head_stage = pp.last_stats.stages[-1]
+        total_chunks = stream_chunk_count(len(self.BIG), 2)
+        assert head_stage.chunks < total_chunks
+
+    def test_streaming_still_matches_barrier(self, fast_config):
+        pp = self._pp("cat in.txt | grep match | head -n 3", THREADS,
+                      fast_config)
+        assert pp.run_streaming() == pp.run_barrier()
+
+    def test_midstream_head_feeds_downstream(self, fast_config):
+        text = "cat in.txt | grep match | head -n 4 | sort -r | wc -l"
+        pp = self._pp(text, THREADS, fast_config)
+        assert pp.run() == serial_output(text, {"in.txt": self.BIG})

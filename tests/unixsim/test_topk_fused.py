@@ -1,0 +1,81 @@
+"""The optimizer's fusion targets: ``topk`` and ``fused``."""
+
+import random
+
+import pytest
+
+from repro.unixsim import UsageError, build
+
+
+def run(argv, data):
+    return build(argv).run(data)
+
+
+class TestTopK:
+    def test_equals_sort_then_head(self):
+        data = "3 c\n1 a\n2 b\n9 z\n"
+        assert run(["topk", "2", "-nr"], data) == "9 z\n3 c\n"
+        assert run(["topk", "3"], data) == "1 a\n2 b\n3 c\n"
+
+    def test_zero_keeps_nothing(self):
+        assert run(["topk", "0"], "a\nb\n") == ""
+
+    def test_n_larger_than_input(self):
+        assert run(["topk", "10"], "b\na\n") == "a\nb\n"
+
+    def test_unique(self):
+        assert run(["topk", "2", "-u"], "b\na\nb\na\nc\n") == "a\nb\n"
+
+    @pytest.mark.parametrize("flags", [[], ["-rn"], ["-u"], ["-f"],
+                                       ["-nu"], ["-k1n"]])
+    def test_rerun_combiner_exact(self, flags):
+        """topk(topk(c1) ++ topk(c2)) == topk(c1 ++ c2): the property
+        that makes the rewritten stage parallelizable via rerun."""
+        rng = random.Random(42)
+        cmd = build(["topk", "3"] + flags)
+        for _ in range(60):
+            lines = [f"{rng.randint(0, 9)} {rng.choice('abcABC')}"
+                     for _ in range(rng.randint(0, 14))]
+            data = "".join(l + "\n" for l in lines)
+            cut = rng.randint(0, len(lines))
+            c1 = "".join(l + "\n" for l in lines[:cut])
+            c2 = "".join(l + "\n" for l in lines[cut:])
+            assert cmd.run(cmd.run(c1) + cmd.run(c2)) == cmd.run(data)
+
+    def test_usage_errors(self):
+        with pytest.raises(UsageError):
+            build(["topk"])
+        with pytest.raises(UsageError):
+            build(["topk", "-rn"])          # missing count
+        with pytest.raises(UsageError):
+            build(["topk", "3", "file.txt"])  # no positional inputs
+        with pytest.raises(UsageError):
+            build(["topk", "3", "-m"])      # merge is meaningless
+
+
+class TestFused:
+    def test_composition(self):
+        data = "apple pie\nbanana split\ncherry tart\n"
+        fused = run(["fused", "grep a", "cut -d ' ' -f 1", "rev"], data)
+        staged = run(["rev", ], run(["cut", "-d", " ", "-f", "1"],
+                                    run(["grep", "a"], data)))
+        assert fused == staged
+
+    def test_quoted_substage_arguments(self):
+        data = "a,b\nc,d\n"
+        assert run(["fused", "cut -d , -f 2", "grep d"], data) == "d\n"
+
+    def test_concat_over_line_aligned_chunks(self):
+        cmd = build(["fused", "grep a", "tr a-z A-Z"])
+        c1, c2 = "apple\nnope\n", "banana\nx\n"
+        assert cmd.run(c1) + cmd.run(c2) == cmd.run(c1 + c2)
+
+    def test_usage_errors(self):
+        with pytest.raises(UsageError):
+            build(["fused"])
+        with pytest.raises(UsageError):
+            build(["fused", "grep a"])      # needs two sub-stages
+        with pytest.raises(UsageError):
+            build(["fused", "grep a", ""])  # empty sub-stage
+        with pytest.raises(UsageError):
+            build(["fused", "grep a", "nosuchcmd x"])
