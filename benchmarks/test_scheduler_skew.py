@@ -1,0 +1,96 @@
+"""Chunk-scheduler acceptance benchmark: skew speedup + fault sweep.
+
+Two gates for the adaptive fault-tolerant runtime:
+
+* **Skew** — on an input where one byte-balanced static chunk costs at
+  least 10x the median chunk (``datagen.skewed_lines``), work stealing
+  must beat static assignment by >= 1.3x modeled wall-clock at k=4.
+  The cost model executes every chunk for real (measured simulation),
+  so the outputs also verify byte-equality between decompositions.
+* **Faults** — with one injected worker failure (first chunk dispatch
+  killed) per run, all 70 workload scripts must still produce output
+  byte-identical to the serial run under the work-stealing scheduler.
+"""
+
+import statistics
+
+from repro.evaluation.costmodel import simulate_plan
+from repro.evaluation.scheduler_eval import measure_skew, skew_table
+from repro.parallel import STATIC, STEALING, FaultPolicy
+from repro.parallel.planner import compile_pipeline, synthesize_pipeline
+from repro.shell import Pipeline
+from repro.unixsim import ExecContext
+from repro.workloads import ALL_SCRIPTS, run_parallel, run_serial
+from repro.workloads.datagen import skewed_lines
+
+K = 4
+N_HEAVY_LINES = 120_000
+FAULT_SCALE = 40
+
+
+def test_stealing_beats_static_on_skew(benchmark, capsys, synth_config):
+    data = skewed_lines(N_HEAVY_LINES, seed=3)
+    cache = {}
+    context = ExecContext(fs={"skew.txt": data})
+    pipeline = Pipeline.from_string("cat skew.txt | sort", context=context)
+    synthesize_pipeline(pipeline, config=synth_config, cache=cache)
+    plan = compile_pipeline(pipeline, cache)
+
+    def price():
+        static = min((simulate_plan(plan, K, scheduler=STATIC)
+                      for _ in range(3)),
+                     key=lambda r: r.modeled_seconds)
+        stealing = min((simulate_plan(plan, K, scheduler=STEALING)
+                        for _ in range(3)),
+                       key=lambda r: r.modeled_seconds)
+        return static, stealing
+
+    static, stealing = benchmark.pedantic(price, rounds=1, iterations=1)
+
+    # the measured simulation runs every chunk: outputs must agree
+    assert static.output == stealing.output
+
+    # precondition: the skew is real — one static chunk >= 10x median
+    skews = [max(s.chunk_seconds) / statistics.median(s.chunk_seconds)
+             for s in static.stages
+             if s.mode == "parallel" and len(s.chunk_seconds) >= K
+             and statistics.median(s.chunk_seconds) > 0]
+    assert skews and max(skews) >= 10.0, skews
+
+    speedup = static.modeled_seconds / stealing.modeled_seconds
+    with capsys.disabled():
+        print()
+        print(skew_table(measure_skew(
+            k=K, n_heavy_lines=N_HEAVY_LINES // 2, config=synth_config,
+            cache=cache, pipelines=("cat skew.txt | sort",))))
+        print(f"acceptance: static {static.modeled_seconds * 1e3:.1f} ms, "
+              f"stealing {stealing.modeled_seconds * 1e3:.1f} ms "
+              f"({speedup:.2f}x)")
+    assert speedup >= 1.3, \
+        f"work stealing only {speedup:.2f}x over static on skewed input"
+
+
+def test_all_scripts_survive_injected_worker_failure(benchmark, full_sweep,
+                                                     synth_config):
+    """One killed dispatch per script run; outputs stay byte-identical."""
+
+    def sweep():
+        mismatches = []
+        no_faults = 0
+        for script in ALL_SCRIPTS:
+            serial = run_serial(script, FAULT_SCALE, seed=9)
+            policy = FaultPolicy(kill_first=1)
+            run = run_parallel(script, FAULT_SCALE, k=K, seed=9,
+                               cache=full_sweep, config=synth_config,
+                               scheduler=STEALING, fault_policy=policy)
+            if run.output != serial.output:
+                mismatches.append(f"{script.suite}/{script.name}")
+            if policy.injected_kills == 0:
+                # fully-sequential scripts dispatch no chunk tasks
+                no_faults += 1
+        return mismatches, no_faults
+
+    mismatches, no_faults = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert not mismatches, f"fault recovery broke: {mismatches}"
+    # the injection actually fired on the overwhelming majority
+    assert no_faults <= len(ALL_SCRIPTS) // 4, no_faults

@@ -1,0 +1,24 @@
+"""Repo-root pytest configuration.
+
+Registers the opt-in knobs of the randomized differential fuzz harness
+(``tests/fuzz/``).  Tier-1 CI runs the small fixed-seed corpus; local
+hunts scale it up::
+
+    PYTHONPATH=src python -m pytest tests/fuzz --fuzz-iterations 500
+    PYTHONPATH=src python -m pytest tests/fuzz --fuzz-seed 12345
+
+On a differential failure the harness writes the offending seed,
+pipeline text, and input to ``fuzz-failures/`` so CI can upload them
+as an artifact.
+"""
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("fuzz", "randomized differential fuzzing")
+    group.addoption(
+        "--fuzz-iterations", type=int, default=None,
+        help="number of random pipelines to fuzz (default: the small "
+             "fixed-seed tier-1 corpus)")
+    group.addoption(
+        "--fuzz-seed", type=int, default=None,
+        help="base RNG seed for the fuzz corpus (default: fixed)")

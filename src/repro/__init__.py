@@ -42,7 +42,7 @@ from .parallel import (
 from .shell import Command, Pipeline
 from .unixsim import ExecContext
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Combiner", "CombinerStore", "Command", "CompositeCombiner", "EvalEnv",
@@ -66,6 +66,8 @@ def parallelize(
     streaming: bool = True,
     queue_depth: Optional[int] = None,
     rewrite: Optional[bool] = None,
+    scheduler: str = "auto",
+    speculate: bool = False,
 ) -> ParallelPipeline:
     """One-shot: parse, optimize, synthesize combiners, compile, and wrap.
 
@@ -93,6 +95,14 @@ def parallelize(
         rewrite: override just the rewrite-engine half of ``optimize``
             (``rewrite=False, optimize=True`` keeps combiner
             elimination but executes the pipeline exactly as written).
+        scheduler: chunk scheduler for parallel stages — ``"static"``
+            (fixed k-way split), ``"stealing"`` (work-stealing deques
+            with adaptive chunk sizing), or ``"auto"`` (default: the
+            optimizer's cost model picks per pipeline; resolves to
+            static when the rewrite engine is disabled).
+        speculate: launch speculative duplicates of straggler chunk
+            tasks (first result wins; legal because chunk evaluation
+            is deterministic).
 
     The applied rewrite trace is available as ``pp.plan.rewrite_trace``
     and the chosen plan's rewrite count lands in ``RunStats.rewrites``.
@@ -107,10 +117,11 @@ def parallelize(
 
         plan, _optimization = select_plan(
             pipeline, k=k, config=config, cache=results, store=store,
-            optimize=optimize)
+            optimize=optimize, scheduler=scheduler)
     else:
         results = synthesize_pipeline(pipeline, config=config, cache=results,
                                       store=store)
-        plan = compile_pipeline(pipeline, results, optimize=optimize)
+        plan = compile_pipeline(pipeline, results, optimize=optimize,
+                                scheduler=scheduler)
     return ParallelPipeline(plan, k=k, engine=engine, streaming=streaming,
-                            queue_depth=queue_depth)
+                            queue_depth=queue_depth, speculate=speculate)

@@ -123,7 +123,8 @@ def _build(args):
                        engine=args.engine, optimize=args.optimize,
                        config=_config(args), store=_open_store(args.store),
                        streaming=not args.barrier,
-                       queue_depth=args.queue_depth)
+                       queue_depth=args.queue_depth,
+                       scheduler=args.scheduler, speculate=args.speculate)
 
 
 def cmd_explain(args) -> int:
@@ -138,7 +139,8 @@ def cmd_explain(args) -> int:
             print("rewrites: none profitable")
         print(f"pipeline: {plan.pipeline.render()}")
     print(f"plan ({plan.parallelized}/{plan.num_stages} stages "
-          f"parallelized, {plan.eliminated} combiners eliminated):")
+          f"parallelized, {plan.eliminated} combiners eliminated, "
+          f"scheduler={plan.scheduler}):")
     for line in plan.describe():
         print("  " + line)
     return 0
@@ -221,7 +223,8 @@ def cmd_submit(args) -> int:
         job_id = client.submit(
             args.pipeline, files=files, env=env, k=args.k,
             engine=args.engine, streaming=not args.barrier,
-            optimize=args.optimize, queue_depth=args.queue_depth,
+            optimize=args.optimize, scheduler=args.scheduler,
+            speculate=args.speculate, queue_depth=args.queue_depth,
             max_size=args.max_size, seed=args.seed)
         if args.no_wait:
             print(job_id)
@@ -294,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the barrier data plane (full stream "
                             "materialization between stages) instead of "
                             "the chunk-pipelined streaming plane")
+        p.add_argument("--scheduler", default="auto",
+                       choices=("auto", "static", "stealing"),
+                       help="chunk scheduler for parallel stages: fixed "
+                            "k-way split, work-stealing deques with "
+                            "adaptive chunk sizing, or cost-model choice "
+                            "(default)")
+        p.add_argument("--speculate", action="store_true",
+                       help="re-execute straggler chunk tasks "
+                            "speculatively; first result wins")
         p.add_argument("--queue-depth", type=int, default=None,
                        help="chunks buffered between streaming stages")
         p.add_argument("--store",
@@ -341,6 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
                     default=True)
     sb.add_argument("--no-optimize", dest="optimize", action="store_false")
     sb.add_argument("--barrier", action="store_true")
+    sb.add_argument("--scheduler", default="auto",
+                    choices=("auto", "static", "stealing"))
+    sb.add_argument("--speculate", action="store_true")
     sb.add_argument("--queue-depth", type=int, default=None)
     sb.add_argument("--timeout", type=float, default=120.0,
                     help="seconds to wait for the result")

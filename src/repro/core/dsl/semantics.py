@@ -205,8 +205,10 @@ def _eval_fuse(op: Fuse, y1: str, y2: str, env: EvalEnv) -> str:
 
 
 def _eval_stitch(op: Stitch, y1: str, y2: str, env: EvalEnv) -> str:
-    if y1 == "\n" or y2 == "\n":
-        return y1 + y2
+    # a single blank line ("\n") is an ordinary stream whose boundary
+    # line is "": it must stitch like any other equal boundary pair —
+    # uniq over chunked blank-line runs depends on the merge
+    # (fuzz-surfaced; an earlier special case concatenated instead)
     prefix1, l1 = split_last_line(y1)
     l2, rest2 = split_first_line(y2)
     if l1 != l2:

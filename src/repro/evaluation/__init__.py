@@ -15,6 +15,14 @@ from .performance import (
     table7,
 )
 from .reporting import render_table, speedup
+from .scheduler_eval import (
+    FaultMeasurement,
+    SkewMeasurement,
+    fault_table,
+    measure_faults,
+    measure_skew,
+    skew_table,
+)
 from .stages import StageAccounting, account_all, account_script, table3
 from .synthesis_sweep import (
     SweepSummary,
@@ -27,10 +35,11 @@ from .synthesis_sweep import (
 )
 
 __all__ = [
-    "OptimizerMeasurement", "ScriptPerformance", "StageAccounting",
-    "SweepSummary", "account_all", "account_script", "classify_combiner",
-    "measure_all", "measure_optimizer", "measure_script", "optimizer_table",
-    "paper_data", "render_table", "speedup", "summarize", "sweep_commands",
-    "table1", "table3", "table4", "table5", "table6", "table7", "table8",
-    "table9", "table10",
+    "FaultMeasurement", "OptimizerMeasurement", "ScriptPerformance",
+    "SkewMeasurement", "StageAccounting", "SweepSummary", "account_all",
+    "account_script", "classify_combiner", "fault_table", "measure_all",
+    "measure_faults", "measure_optimizer", "measure_script", "measure_skew",
+    "optimizer_table", "paper_data", "render_table", "skew_table",
+    "speedup", "summarize", "sweep_commands", "table1", "table3", "table4",
+    "table5", "table6", "table7", "table8", "table9", "table10",
 ]

@@ -16,17 +16,63 @@ full rerun), sequentialized stages, and intermediate-combiner
 elimination — while remaining measurable on one core.  Real
 process-pool execution remains available via the ``processes`` engine
 for multi-core hosts.
+
+The model is scheduler-aware: a parallel stage's charge is the
+**makespan** of placing its measured chunk costs on ``k`` workers
+under the plan's chunk scheduler — one chunk per worker under
+``static``, online greedy placement of the finer adaptive
+decomposition (plus a per-task dispatch overhead) under ``stealing``.
+The optimizer's selector prices both placements to decide
+``PipelinePlan.scheduler``.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.dsl.semantics import EvalEnv
 from ..parallel.planner import PipelinePlan
+from ..parallel.scheduler import (
+    AUTO,
+    DEFAULT_TASK_OVERHEAD,
+    STATIC,
+    STEALING,
+    stealing_chunk_count,
+)
 from ..parallel.splitter import split_stream
+from ..parallel.streaming import combine_is_cheap
+
+
+def modeled_makespan(chunk_seconds: Sequence[float], workers: int,
+                     scheduler: str = STATIC,
+                     task_overhead: float = 0.0) -> float:
+    """Wall-clock of placing measured chunk costs on ``workers``.
+
+    ``static`` mirrors the fixed round-robin assignment (with the
+    canonical one-chunk-per-worker split this is simply the longest
+    chunk); ``stealing`` mirrors the work-stealing runtime as online
+    greedy list scheduling — each task, in stream order, lands on the
+    worker that frees up first — and charges ``task_overhead`` per task
+    for the deque/steal bookkeeping, which is what makes a fine
+    decomposition of a tiny input *lose* to static.
+    """
+    workers = max(1, workers)
+    if not chunk_seconds:
+        return 0.0
+    if scheduler == STEALING:
+        loads = [0.0] * workers
+        heapq.heapify(loads)
+        for cost in chunk_seconds:
+            heapq.heappush(loads, heapq.heappop(loads)
+                           + cost + task_overhead)
+        return max(loads)
+    loads = [0.0] * workers
+    for i, cost in enumerate(chunk_seconds):
+        loads[i % workers] += cost
+    return max(loads)
 
 
 @dataclass
@@ -39,13 +85,20 @@ class SimulatedStage:
     #: cost of splitting the input stream at stage entry; zero when the
     #: previous stage's combiner was eliminated and chunks flowed through
     split_seconds: float = 0.0
+    #: placement policy priced by :attr:`modeled_seconds`; 0 workers
+    #: means one per chunk (the canonical static split)
+    workers: int = 0
+    scheduler: str = STATIC
+    task_overhead: float = 0.0
 
     @property
     def modeled_seconds(self) -> float:
         if self.mode == "sequential":
             return sum(self.chunk_seconds)
-        longest = max(self.chunk_seconds, default=0.0)
-        return self.split_seconds + longest + \
+        makespan = modeled_makespan(self.chunk_seconds,
+                                    self.workers or len(self.chunk_seconds),
+                                    self.scheduler, self.task_overhead)
+        return self.split_seconds + makespan + \
             (0.0 if self.eliminated else self.combine_seconds)
 
 
@@ -61,17 +114,34 @@ class SimulatedRun:
 
 
 def simulate_plan(plan: PipelinePlan, k: int,
-                  data: Optional[str] = None) -> SimulatedRun:
-    """Execute a compiled plan chunk-by-chunk with per-chunk timing."""
+                  data: Optional[str] = None,
+                  scheduler: Optional[str] = None,
+                  task_overhead: float = DEFAULT_TASK_OVERHEAD
+                  ) -> SimulatedRun:
+    """Execute a compiled plan chunk-by-chunk with per-chunk timing.
+
+    ``scheduler`` defaults to the plan's own; under ``stealing`` each
+    new decomposition is split into the finer chunk count the adaptive
+    splitter targets (where the consuming combiner permits it) and
+    parallel stages are priced by greedy placement plus per-task
+    overhead — see :func:`modeled_makespan`.
+    """
     pipeline = plan.pipeline
     stream: Optional[str] = pipeline._initial_stream(data)
     chunks: Optional[List[str]] = None
+    if scheduler is None:
+        scheduler = getattr(plan, "scheduler", STATIC)
+    if scheduler == AUTO:
+        scheduler = STATIC
     run = SimulatedRun(k=k, output="")
 
-    for stage in plan.stages:
+    for index, stage in enumerate(plan.stages):
         record = SimulatedStage(display=stage.command.display(),
                                 mode=stage.mode,
-                                eliminated=stage.eliminated)
+                                eliminated=stage.eliminated,
+                                workers=k, scheduler=scheduler,
+                                task_overhead=task_overhead
+                                if scheduler == STEALING else 0.0)
         if stage.mode == "sequential":
             if chunks is not None:
                 stream = "".join(chunks)
@@ -81,8 +151,12 @@ def simulate_plan(plan: PipelinePlan, k: int,
             record.chunk_seconds.append(time.perf_counter() - t0)
         else:
             if chunks is None:
+                n = k
+                if scheduler == STEALING \
+                        and combine_is_cheap(plan.stages, index):
+                    n = stealing_chunk_count(len(stream or ""), k)
                 t0 = time.perf_counter()
-                chunks = split_stream(stream or "", k)
+                chunks = split_stream(stream or "", n)
                 record.split_seconds = time.perf_counter() - t0
             outputs: List[str] = []
             for chunk in chunks:

@@ -19,6 +19,7 @@ import time
 from ..core.synthesis import SynthesisConfig
 from . import paper_data
 from .performance import measure_all, table1, table4, table5, table6, table7
+from .scheduler_eval import fault_table, measure_faults, measure_skew, skew_table
 from .stages import account_all, table3
 from .synthesis_sweep import summarize, sweep_commands, table8, table9, table10
 
@@ -112,6 +113,16 @@ def main(argv=None) -> int:
     emit(f"paper (k=16, 80-core Xeon):  unoptimized "
          f"{paper_data.UNOPT_MEDIAN_SPEEDUP_16}x, optimized "
          f"{paper_data.OPT_MEDIAN_SPEEDUP_16}x")
+    emit()
+
+    emit("== Adaptive runtime (beyond the paper) ==")
+    emit(skew_table(measure_skew(k=4, config=config, cache=cache)))
+    emit()
+    from ..workloads import ALL_SCRIPTS
+
+    sample = (scripts or ALL_SCRIPTS)[:6 if args.quick else 12]
+    emit(fault_table(measure_faults(sample, scale=min(args.scale, 120),
+                                    cache=cache, config=config)))
     emit()
     emit(f"total harness time: {time.perf_counter() - t0:.1f}s")
     if sink:

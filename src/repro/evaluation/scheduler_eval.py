@@ -1,0 +1,157 @@
+"""Chunk-scheduler evaluation: skewed-input and fault-injected runs.
+
+Two questions the paper's uniform-input tables cannot answer:
+
+* **Skew** — how much modeled wall-clock does work stealing recover
+  when one byte-balanced chunk costs an order of magnitude more than
+  its siblings?  (:func:`measure_skew`: the same compiled plan priced
+  under both schedulers by the measured cost model.)
+* **Faults** — what does surviving an injected chunk-task failure cost,
+  and is the recovered output still byte-identical to the serial run?
+  (:func:`measure_faults`: real executions with a
+  :class:`~repro.parallel.FaultPolicy` killing the first dispatch.)
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.synthesis.synthesizer import SynthesisConfig, SynthesisResult
+from ..parallel import FaultPolicy, STATIC, STEALING
+from ..parallel.planner import compile_pipeline, synthesize_pipeline
+from ..shell.pipeline import Pipeline
+from ..unixsim import ExecContext
+from ..workloads.datagen import skewed_lines
+from ..workloads.runner import run_parallel, run_serial
+from ..workloads.scripts import BenchmarkScript
+from .costmodel import simulate_plan
+from .reporting import render_table
+
+#: pipelines whose parallel stages are sensitive to line-count skew
+SKEW_PIPELINES = (
+    "cat skew.txt | sort",
+    "cat skew.txt | sort | uniq -c",
+    "cat skew.txt | awk '{print $1}' | sort",
+)
+
+
+@dataclass
+class SkewMeasurement:
+    pipeline: str
+    k: int
+    static_seconds: float
+    stealing_seconds: float
+    #: heaviest / median chunk cost under the static decomposition
+    chunk_skew: float
+
+    @property
+    def speedup(self) -> float:
+        if self.stealing_seconds <= 0:
+            return float("nan")
+        return self.static_seconds / self.stealing_seconds
+
+
+def measure_skew(k: int = 4, n_heavy_lines: int = 60_000, seed: int = 3,
+                 config: Optional[SynthesisConfig] = None,
+                 cache: Optional[Dict[Tuple[str, ...],
+                                      SynthesisResult]] = None,
+                 pipelines: Sequence[str] = SKEW_PIPELINES,
+                 cost_repeats: int = 3) -> List[SkewMeasurement]:
+    """Modeled static-vs-stealing wall clock on a skewed input."""
+    data = skewed_lines(n_heavy_lines, seed=seed)
+    cache = cache if cache is not None else {}
+    out: List[SkewMeasurement] = []
+    for text in pipelines:
+        context = ExecContext(fs={"skew.txt": data})
+        pipeline = Pipeline.from_string(text, context=context)
+        synthesize_pipeline(pipeline, config=config, cache=cache)
+        plan = compile_pipeline(pipeline, cache)
+        static = min((simulate_plan(plan, k, scheduler=STATIC)
+                      for _ in range(max(1, cost_repeats))),
+                     key=lambda r: r.modeled_seconds)
+        stealing = min((simulate_plan(plan, k, scheduler=STEALING)
+                        for _ in range(max(1, cost_repeats))),
+                       key=lambda r: r.modeled_seconds)
+        skew = 0.0
+        for stage in static.stages:
+            if stage.mode == "parallel" and len(stage.chunk_seconds) > 1:
+                med = statistics.median(stage.chunk_seconds)
+                if med > 0:
+                    skew = max(skew, max(stage.chunk_seconds) / med)
+        out.append(SkewMeasurement(
+            pipeline=text, k=k,
+            static_seconds=static.modeled_seconds,
+            stealing_seconds=stealing.modeled_seconds,
+            chunk_skew=skew))
+    return out
+
+
+@dataclass
+class FaultMeasurement:
+    suite: str
+    name: str
+    identical: bool
+    retries: int
+    injected: int
+    fault_free_seconds: float
+    faulted_seconds: float
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.fault_free_seconds <= 0:
+            return float("nan")
+        return 100.0 * (self.faulted_seconds / self.fault_free_seconds
+                        - 1.0)
+
+
+def measure_faults(scripts: Sequence[BenchmarkScript], scale: int = 40,
+                   k: int = 4, seed: int = 3,
+                   config: Optional[SynthesisConfig] = None,
+                   cache: Optional[Dict[Tuple[str, ...],
+                                        SynthesisResult]] = None
+                   ) -> List[FaultMeasurement]:
+    """Kill the first chunk dispatch of every script run; measure recovery."""
+    cache = cache if cache is not None else {}
+    out: List[FaultMeasurement] = []
+    for script in scripts:
+        serial = run_serial(script, scale, seed)
+        clean = run_parallel(script, scale, k, seed=seed, cache=cache,
+                             config=config, scheduler=STEALING)
+        policy = FaultPolicy(kill_first=1)
+        faulted = run_parallel(script, scale, k, seed=seed, cache=cache,
+                               config=config, scheduler=STEALING,
+                               fault_policy=policy)
+        # ScriptRun.seconds excludes synthesis, so the two runs compare
+        # pure execution (the cache is warm for both after `clean`)
+        retries = sum(s.scheduler.retries for s in faulted.stats
+                      if s.scheduler is not None)
+        out.append(FaultMeasurement(
+            suite=script.suite, name=script.name,
+            identical=(clean.output == serial.output
+                       and faulted.output == serial.output),
+            retries=retries, injected=policy.injected_kills,
+            fault_free_seconds=clean.seconds,
+            faulted_seconds=faulted.seconds))
+    return out
+
+
+def skew_table(measurements: Sequence[SkewMeasurement]) -> str:
+    rows = [(m.pipeline, m.k, f"{m.chunk_skew:.1f}x",
+             f"{m.static_seconds * 1e3:.2f}",
+             f"{m.stealing_seconds * 1e3:.2f}", f"{m.speedup:.2f}x")
+            for m in measurements]
+    return render_table(
+        ["pipeline", "k", "chunk skew", "static ms", "stealing ms",
+         "speedup"],
+        rows, title="Work stealing vs static assignment on skewed input")
+
+
+def fault_table(measurements: Sequence[FaultMeasurement]) -> str:
+    rows = [(f"{m.suite}/{m.name}", "yes" if m.identical else "NO",
+             m.injected, m.retries, f"{m.overhead_pct:+.1f}%")
+            for m in measurements]
+    return render_table(
+        ["script", "byte-identical", "injected", "retries", "overhead"],
+        rows, title="Fault-injected recovery (one killed dispatch per run)")

@@ -28,6 +28,7 @@ from ..parallel.planner import (
     synthesize_pipeline,
     trim_stream,
 )
+from ..parallel.scheduler import AUTO, STATIC, STEALING
 from ..shell.pipeline import Pipeline
 from .engine import (
     Candidate,
@@ -55,7 +56,11 @@ class PipelineOptimization:
     chosen: str
     steps: List[str] = field(default_factory=list)
     candidates: int = 1
-    #: (canonical render, modeled seconds) per costed candidate
+    #: chunk scheduler the winning plan was priced with
+    scheduler: str = STATIC
+    #: (canonical render, modeled seconds) per costed candidate; under
+    #: ``auto`` scheduling each candidate appears once per scheduler,
+    #: the stealing row suffixed ``" [stealing]"``
     costs: List[Tuple[str, float]] = field(default_factory=list)
 
     @property
@@ -72,6 +77,30 @@ class PipelineOptimization:
 def trim_sample(stream: str, max_bytes: int = SAMPLE_BYTES) -> str:
     """A line-aligned prefix of ``stream`` of at most ``max_bytes``."""
     return trim_stream(stream, max_bytes)
+
+
+def stratified_sample(stream: str, max_bytes: int = SAMPLE_BYTES) -> str:
+    """Line-aligned slices from the start, middle, and end of ``stream``.
+
+    A prefix sample systematically misses cost-per-byte skew that lives
+    later in the stream — exactly what the static-vs-stealing scheduler
+    decision needs to see — so auto-derived selection samples three
+    evenly spaced regions instead of the head.
+    """
+    if len(stream) <= max_bytes:
+        return stream
+    per = max(1, max_bytes // 3)
+    n = len(stream)
+    parts = []
+    for i in range(3):
+        start = (n - per) * i // 2
+        if start > 0:
+            nl = stream.find("\n", start)
+            if nl == -1 or nl + 1 >= n:
+                continue
+            start = nl + 1
+        parts.append(trim_stream(stream[start:], per))
+    return "".join(parts) if parts else trim_stream(stream, max_bytes)
 
 
 def _structural_cost(plan: PipelinePlan, k: int) -> float:
@@ -93,6 +122,7 @@ def select_plan(
     max_candidates: int = MAX_CANDIDATES,
     cost_fn: Optional[CostFn] = None,
     cost_repeats: int = 1,
+    scheduler: str = AUTO,
 ) -> Tuple[PipelinePlan, PipelineOptimization]:
     """Rewrite, synthesize, compile, and pick the cheapest plan.
 
@@ -100,33 +130,44 @@ def select_plan(
     passed through to :func:`compile_pipeline`.  ``cost_fn`` overrides
     the pricing (tests inject deterministic costs); ``cost_repeats``
     prices each candidate best-of-``n`` (measurement harnesses pass
-    more than 1 to suppress timing noise).  The chosen
-    :class:`PipelinePlan` carries the applied rewrite count and trace
-    in ``plan.rewrites`` / ``plan.rewrite_trace``.
+    more than 1 to suppress timing noise).  The chunk ``scheduler`` is
+    a plan attribute: ``auto`` (default) prices every candidate under
+    both ``static`` and ``stealing`` placement and the winner is
+    stamped on the chosen plan — static wins on uniform or tiny
+    samples (no per-task overhead), stealing on skewed ones (greedy
+    placement of the finer decomposition beats one-chunk-per-worker).
+    The chosen :class:`PipelinePlan` carries the applied rewrite count
+    and trace in ``plan.rewrites`` / ``plan.rewrite_trace``.
     """
     cache = cache if cache is not None else {}
     candidates = enumerate_candidates(pipeline, max_depth=max_depth,
                                       max_candidates=max_candidates)
+    pinned = STATIC if scheduler == AUTO else scheduler
     optimization = PipelineOptimization(
         original=candidates[0].render, chosen=candidates[0].render,
-        candidates=len(candidates))
-
-    if len(candidates) == 1:
-        # nothing to choose between: skip the cost model entirely
-        root = candidates[0].pipeline
-        synthesize_pipeline(root, config=config, cache=cache, store=store)
-        plan = compile_pipeline(root, cache, optimize=optimize)
-        return plan, optimization
+        candidates=len(candidates), scheduler=pinned)
 
     if sample is None:
         try:
-            sample = trim_sample(pipeline._initial_stream(None))
+            sample = stratified_sample(pipeline._initial_stream(None))
         except Exception:
             # input data not available at compile time (e.g. `explain`
             # on a pipeline whose file arrives at run()); fall back to
             # the structural cost instead of failing compilation
             sample = ""
     use_model = bool(sample) and cost_fn is None
+    schedulers: Tuple[str, ...] = (pinned,)
+    if scheduler == AUTO and use_model:
+        # listed static-first so exact ties keep the cheaper machinery
+        schedulers = (STATIC, STEALING)
+
+    if len(candidates) == 1 and len(schedulers) == 1:
+        # nothing to choose between: skip the cost model entirely
+        root = candidates[0].pipeline
+        synthesize_pipeline(root, config=config, cache=cache, store=store)
+        plan = compile_pipeline(root, cache, optimize=optimize,
+                                scheduler=pinned)
+        return plan, optimization
 
     best_plan: Optional[PipelinePlan] = None
     best_cost = float("inf")
@@ -135,22 +176,33 @@ def select_plan(
         synthesize_pipeline(candidate.pipeline, config=config, cache=cache,
                             store=store)
         plan = compile_pipeline(candidate.pipeline, cache, optimize=optimize,
-                                sample_input=sample if sample else None)
+                                sample_input=sample if sample else None,
+                                scheduler=pinned)
         if cost_fn is not None:
             cost = cost_fn(plan, candidate)
-        elif use_model:
-            from ..evaluation.costmodel import simulate_plan
+            optimization.costs.append((candidate.render, cost))
+            if cost < best_cost:
+                best_plan, best_cost, best = plan, cost, candidate
+            continue
+        for sched in schedulers:
+            if use_model:
+                from ..evaluation.costmodel import simulate_plan
 
-            cost = min(simulate_plan(plan, k, data=sample).modeled_seconds
-                       for _ in range(max(1, cost_repeats)))
-        else:
-            cost = _structural_cost(plan, k)
-        optimization.costs.append((candidate.render, cost))
-        if cost < best_cost:
-            best_plan, best_cost, best = plan, cost, candidate
+                cost = min(simulate_plan(plan, k, data=sample,
+                                         scheduler=sched).modeled_seconds
+                           for _ in range(max(1, cost_repeats)))
+            else:
+                cost = _structural_cost(plan, k)
+            label = candidate.render if sched == STATIC \
+                else f"{candidate.render} [stealing]"
+            optimization.costs.append((label, cost))
+            if cost < best_cost:
+                best_plan, best_cost, best = plan, cost, candidate
+                best_plan.scheduler = sched
 
     assert best_plan is not None and best is not None
     optimization.chosen = best.render
+    optimization.scheduler = best_plan.scheduler
     optimization.steps = [step.describe() for step in best.steps]
     best_plan.rewrites = best.rewrites
     best_plan.rewrite_trace = list(optimization.steps)

@@ -27,10 +27,25 @@ from .planner import (
     synthesize_pipeline,
 )
 from .runner import PROCESSES, RunnerPool, SERIAL, StageRunner, THREADS
+from .scheduler import (
+    AUTO,
+    AdaptiveSplitter,
+    ChunkScheduler,
+    FaultPolicy,
+    InjectedFault,
+    SCHEDULERS,
+    STATIC,
+    STEALING,
+    SchedulerConfig,
+    SchedulerStats,
+    scheduler_stats_from_dict,
+    stealing_chunk_count,
+)
 from .splitter import split_stream
 from .streaming import (
     DEFAULT_QUEUE_DEPTH,
     StageTrace,
+    combine_is_cheap,
     merge_intervals,
     overlap_seconds,
     prefix_limit,
@@ -38,11 +53,15 @@ from .streaming import (
 )
 
 __all__ = [
-    "BARRIER", "DEFAULT_QUEUE_DEPTH", "KWayCombiner", "PARALLEL",
-    "PROCESSES", "ParallelPipeline", "PipelinePlan",
-    "RERUN_REDUCTION_THRESHOLD", "RunStats", "RunnerPool", "SEQUENTIAL",
-    "SERIAL", "STREAMING", "StagePlan", "StageRunner", "StageStats",
-    "StageTrace", "THREADS", "compile_pipeline", "merge_intervals",
-    "overlap_seconds", "plan_stage", "prefix_limit", "run_chunk_pipelined",
-    "run_stats_from_dict", "split_stream", "synthesize_pipeline",
+    "AUTO", "AdaptiveSplitter", "BARRIER", "ChunkScheduler",
+    "DEFAULT_QUEUE_DEPTH", "FaultPolicy", "InjectedFault", "KWayCombiner",
+    "PARALLEL", "PROCESSES", "ParallelPipeline", "PipelinePlan",
+    "RERUN_REDUCTION_THRESHOLD", "RunStats", "RunnerPool", "SCHEDULERS",
+    "SEQUENTIAL", "SERIAL", "STATIC", "STEALING", "STREAMING",
+    "SchedulerConfig", "SchedulerStats", "StagePlan", "StageRunner",
+    "StageStats", "StageTrace", "THREADS", "combine_is_cheap",
+    "compile_pipeline", "merge_intervals", "overlap_seconds", "plan_stage",
+    "prefix_limit", "run_chunk_pipelined", "run_stats_from_dict",
+    "scheduler_stats_from_dict", "split_stream", "stealing_chunk_count",
+    "synthesize_pipeline",
 ]

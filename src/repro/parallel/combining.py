@@ -32,8 +32,15 @@ class KWayCombiner:
         return self.combiner.primary
 
     def is_concat(self) -> bool:
+        """Plain order-preserving concatenation (the Theorem 5 shape).
+
+        Deliberately *false* for the swapped form ``(concat b a)``
+        (synthesized for ``tac``): eliminating such a combiner would
+        feed substreams downstream in the wrong order, and the
+        oversplit fast paths assume chunk order survives combining.
+        """
         c = self.primary
-        return isinstance(c.op, Concat)
+        return isinstance(c.op, Concat) and not c.swapped
 
     def is_merge(self) -> bool:
         return isinstance(self.primary.op, Merge)
@@ -51,7 +58,10 @@ class KWayCombiner:
             return streams[0]
         c = self.primary
         if isinstance(c.op, Concat):
-            return "".join(streams)
+            # the swapped form joins right-to-left: with contiguous
+            # input chunks x1..xk, tac-like commands satisfy
+            # f(x1 + x2) = f(x2) + f(x1)
+            return "".join(streams[::-1] if c.swapped else streams)
         if isinstance(c.op, Merge):
             return merge_streams(c.op.flags, streams)
         if isinstance(c.op, Rerun):
@@ -60,7 +70,20 @@ class KWayCombiner:
             if c.swapped:
                 streams = streams[::-1]
             return env.run_command("".join(streams))
+        # an empty substream is the identity of every stream combiner:
+        # the commands that reach the pairwise fold (uniq-style stitch
+        # and fold combiners) produce "" only for "" input, so the
+        # combined result is the other operand unchanged.  Stitch
+        # members are *inapplicable* to empty operands (no boundary
+        # line to merge), so without this the fold would crash on any
+        # chunk whose upstream output was empty — e.g. a grep that
+        # matched nothing in one chunk (fuzz-surfaced).
         acc = streams[0]
         for nxt in streams[1:]:
+            if not nxt:
+                continue
+            if not acc:
+                acc = nxt
+                continue
             acc = self.combiner.apply(acc, nxt, env)
         return acc

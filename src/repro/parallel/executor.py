@@ -21,6 +21,7 @@ it just overlaps the work in time.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -28,8 +29,23 @@ from typing import List, Optional
 from ..core.dsl.semantics import EvalEnv
 from .planner import PipelinePlan, StagePlan
 from .runner import SERIAL, StageRunner
+from .scheduler import (
+    AUTO,
+    ChunkScheduler,
+    FaultPolicy,
+    STATIC,
+    STEALING,
+    SchedulerConfig,
+    SchedulerStats,
+    scheduler_stats_from_dict,
+)
 from .splitter import split_stream
-from .streaming import StageTrace, overlap_seconds, run_chunk_pipelined
+from .streaming import (
+    StageTrace,
+    combine_is_cheap,
+    overlap_seconds,
+    run_chunk_pipelined,
+)
 
 #: data planes
 STREAMING = "streaming"
@@ -78,6 +94,8 @@ class RunStats:
     optimized: bool = False
     #: rewrite-engine rules applied to the executed pipeline
     rewrites: int = 0
+    #: chunk-scheduler behavior (steals/retries/speculation counters)
+    scheduler: Optional[SchedulerStats] = None
     stages: List[StageStats] = field(default_factory=list)
 
     @property
@@ -98,6 +116,7 @@ class RunStats:
             "k": self.k, "engine": self.engine,
             "data_plane": self.data_plane, "seconds": self.seconds,
             "optimized": self.optimized, "rewrites": self.rewrites,
+            "scheduler": self.scheduler.to_dict() if self.scheduler else None,
             "total_overlap": self.total_overlap,
             "bytes_in": self.bytes_in, "bytes_out": self.bytes_out,
             "stages": [s.to_dict() for s in self.stages],
@@ -106,12 +125,14 @@ class RunStats:
 
 def run_stats_from_dict(data: dict) -> RunStats:
     """Rebuild :class:`RunStats` from :meth:`RunStats.to_dict` output."""
+    scheduler = data.get("scheduler")
     return RunStats(
         k=data["k"], engine=data["engine"],
         data_plane=data.get("data_plane", BARRIER),
         seconds=data.get("seconds", 0.0),
         optimized=data.get("optimized", False),
         rewrites=data.get("rewrites", 0),
+        scheduler=scheduler_stats_from_dict(scheduler) if scheduler else None,
         stages=[StageStats(
             display=s["display"], mode=s["mode"],
             eliminated=s.get("eliminated", False),
@@ -128,19 +149,41 @@ class ParallelPipeline:
                  engine: str = SERIAL,
                  runner: Optional[StageRunner] = None,
                  streaming: bool = True,
-                 queue_depth: Optional[int] = None) -> None:
+                 queue_depth: Optional[int] = None,
+                 scheduler: Optional[str] = None,
+                 speculate: bool = False,
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 fault_policy: Optional[FaultPolicy] = None) -> None:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         if queue_depth is not None and queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be positive, got {queue_depth}")
+        if scheduler not in (None, STATIC, STEALING, AUTO):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
         self.plan = plan
         self.k = k
         self.engine = engine
         self.streaming = streaming
         self.queue_depth = queue_depth
+        # runtime override beats the plan attribute; AUTO (an unresolved
+        # plan that never went through the selector) degrades to static
+        chosen = scheduler if scheduler is not None \
+            else getattr(plan, "scheduler", STATIC)
+        self.scheduler = STATIC if chosen == AUTO else chosen
+        config = scheduler_config or SchedulerConfig()
+        if speculate and not config.speculate:
+            # copy: the caller's config object may be shared across
+            # pipelines and must not inherit this run's speculation
+            config = dataclasses.replace(config, speculate=True)
+        self.scheduler_config = config
+        self.fault_policy = fault_policy
         self._runner = runner
         self.last_stats: Optional[RunStats] = None
+
+    def _new_scheduler_stats(self) -> SchedulerStats:
+        return SchedulerStats(name=self.scheduler,
+                              speculate=self.scheduler_config.speculate)
 
     def run(self, data: Optional[str] = None) -> str:
         """Execute the plan; returns the final output stream."""
@@ -153,14 +196,20 @@ class ParallelPipeline:
     def run_streaming(self, data: Optional[str] = None) -> str:
         """Execute with chunk-pipelined stages (bounded-queue data plane)."""
         initial = self.plan.pipeline._initial_stream(data)
+        sched_stats = self._new_scheduler_stats()
         start = time.perf_counter()
         output, traces = self._with_runner(
             lambda runner: run_chunk_pipelined(
                 self.plan, self.k, runner, initial,
-                queue_depth=self.queue_depth))
+                queue_depth=self.queue_depth,
+                scheduler=self.scheduler,
+                scheduler_config=self.scheduler_config,
+                fault_policy=self.fault_policy,
+                scheduler_stats=sched_stats))
         stats = RunStats(k=self.k, engine=self.engine, data_plane=STREAMING,
                          optimized=self.plan.rewrites > 0,
                          rewrites=self.plan.rewrites,
+                         scheduler=sched_stats,
                          stages=self._fold_traces(traces))
         stats.seconds = time.perf_counter() - start
         self.last_stats = stats
@@ -187,19 +236,21 @@ class ParallelPipeline:
         pipeline = self.plan.pipeline
         stream: Optional[str] = pipeline._initial_stream(data)
         chunks: Optional[List[str]] = None
+        sched_stats = self._new_scheduler_stats()
         stats = RunStats(k=self.k, engine=self.engine, data_plane=BARRIER,
                          optimized=self.plan.rewrites > 0,
-                         rewrites=self.plan.rewrites)
+                         rewrites=self.plan.rewrites,
+                         scheduler=sched_stats)
         start = time.perf_counter()
 
         def run_all(runner: StageRunner) -> str:
             nonlocal stream, chunks
-            for stage in self.plan.stages:
+            for index, stage in enumerate(self.plan.stages):
                 t0 = time.perf_counter()
                 bytes_in = len(stream or "") if chunks is None \
                     else sum(len(c) for c in chunks)
                 stream, chunks, n_chunks = self._run_stage(
-                    stage, runner, stream, chunks)
+                    stage, index, runner, stream, chunks, sched_stats)
                 bytes_out = len(stream or "") if chunks is None \
                     else sum(len(c) for c in chunks)
                 stats.stages.append(StageStats(
@@ -229,20 +280,48 @@ class ParallelPipeline:
             if owned:
                 runner.close()
 
-    def _run_stage(self, stage: StagePlan, runner: StageRunner,
-                   stream: Optional[str], chunks: Optional[List[str]]):
+    def _run_stage(self, stage: StagePlan, index: int, runner: StageRunner,
+                   stream: Optional[str], chunks: Optional[List[str]],
+                   sched_stats: SchedulerStats):
         if stage.mode == "sequential":
             if chunks is not None:
                 stream = "".join(chunks)  # upstream combiner was concat
                 chunks = None
             return stage.command.run(stream or ""), None, 1
 
-        if chunks is None:
-            chunks = split_stream(stream or "", self.k)
-        outputs = runner.run_stage(stage.command, chunks)
+        plain_static = (self.scheduler == STATIC
+                        and self.fault_policy is None
+                        and not self.scheduler_config.speculate)
+        if plain_static:
+            # fast path: no retries/speculation/stealing to coordinate,
+            # so map the chunks straight onto the engine's worker pool
+            if chunks is None:
+                chunks = split_stream(stream or "", self.k)
+            outputs = runner.run_stage(stage.command, chunks)
+            n_chunks = len(chunks)
+            sched_stats.bump("tasks", n_chunks)
+        else:
+            workers = 1 if self.engine == SERIAL else self.k
+            chunk_scheduler = ChunkScheduler(
+                lambda chunk, delay: runner.call_timed(stage.command, chunk,
+                                                       delay),
+                stage_index=index, workers=workers,
+                config=self.scheduler_config,
+                fault_policy=self.fault_policy, stats=sched_stats)
+            if chunks is None and self.scheduler == STEALING \
+                    and combine_is_cheap(self.plan.stages, index):
+                # adaptive decomposition: chunks start small and grow
+                # toward the per-task latency target measured online
+                outputs = chunk_scheduler.run_stream(stream or "", self.k)
+                n_chunks = len(outputs)
+            else:
+                if chunks is None:
+                    chunks = split_stream(stream or "", self.k)
+                outputs = chunk_scheduler.run_chunks(chunks)
+                n_chunks = len(chunks)
         if stage.eliminated:
-            return None, outputs, len(chunks)
+            return None, outputs, n_chunks
         env = EvalEnv(run_command=stage.command.run)
         combined = stage.combiner.combine(outputs, env) if stage.combiner \
             else "".join(outputs)
-        return combined, None, len(chunks)
+        return combined, None, n_chunks

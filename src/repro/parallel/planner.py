@@ -32,6 +32,7 @@ from ..core.synthesis.synthesizer import SynthesisConfig, SynthesisResult, synth
 from ..shell.command import Command
 from ..shell.pipeline import Pipeline
 from .combining import KWayCombiner
+from .scheduler import STATIC
 
 PARALLEL = "parallel"
 SEQUENTIAL = "sequential"
@@ -62,6 +63,9 @@ class PipelinePlan:
     pipeline: Pipeline
     stages: List[StagePlan]
     optimized: bool
+    #: chunk scheduler the plan was compiled for (``static`` or
+    #: ``stealing``; the selector resolves ``auto`` via the cost model)
+    scheduler: str = STATIC
     #: rewrite-engine provenance (set by the optimizer's selector when
     #: the plan came out of :func:`repro.optimizer.select_plan`)
     rewrites: int = 0
@@ -146,6 +150,7 @@ def compile_pipeline(
     optimize: bool = True,
     rerun_threshold: float = RERUN_REDUCTION_THRESHOLD,
     sample_input: Optional[str] = None,
+    scheduler: str = STATIC,
 ) -> PipelinePlan:
     """Compile a serial pipeline into a parallel execution plan.
 
@@ -155,6 +160,8 @@ def compile_pipeline(
     ``sample_input`` is given, per-stage data-reduction ratios for the
     rerun-profitability decision are measured on it (the paper profiles
     the real workload when deciding to keep ``tr -cs ...`` sequential).
+    ``scheduler`` is stored on the plan (``auto`` is recorded as-is for
+    the selector to resolve; the executor treats it as ``static``).
     """
     ratios: List[Optional[float]]
     if sample_input is not None:
@@ -177,7 +184,8 @@ def compile_pipeline(
                     and cur.synthesis is not None
                     and cur.synthesis.outputs_are_streams):
                 cur.eliminated = True
-    return PipelinePlan(pipeline=pipeline, stages=stages, optimized=optimize)
+    return PipelinePlan(pipeline=pipeline, stages=stages, optimized=optimize,
+                        scheduler=scheduler)
 
 
 def synthesize_pipeline(

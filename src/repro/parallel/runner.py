@@ -55,16 +55,22 @@ def _run_chunk(argv: List[str], chunk: str) -> str:
     return build(argv).run(chunk, ctx)
 
 
-def _timed_call(fn: Callable[[str], str],
-                chunk: str) -> Tuple[str, float, float]:
+def _timed_call(fn: Callable[[str], str], chunk: str,
+                delay: float = 0.0) -> Tuple[str, float, float]:
     t0 = time.perf_counter()
+    if delay > 0.0:
+        # injected straggler latency counts as busy time: the worker
+        # slot is occupied, which is exactly what speculation reacts to
+        time.sleep(delay)
     out = fn(chunk)
     return out, t0, time.perf_counter()
 
 
-def _run_chunk_timed(argv: List[str],
-                     chunk: str) -> Tuple[str, float, float]:
+def _run_chunk_timed(argv: List[str], chunk: str,
+                     delay: float = 0.0) -> Tuple[str, float, float]:
     t0 = time.perf_counter()
+    if delay > 0.0:
+        time.sleep(delay)
     out = _run_chunk(argv, chunk)
     return out, t0, time.perf_counter()
 
@@ -124,27 +130,40 @@ class StageRunner:
             futures = [pool.submit(command.run, c) for c in chunks]
         return [f.result() for f in futures]
 
-    def submit_timed(self, command: Command,
-                     chunk: str) -> "cf.Future[Tuple[str, float, float]]":
+    def submit_timed(self, command: Command, chunk: str, delay: float = 0.0
+                     ) -> "cf.Future[Tuple[str, float, float]]":
         """Dispatch one chunk, resolving to ``(output, start, end)``.
 
         The busy interval is measured where the chunk actually runs (in
         the worker thread or process); ``time.perf_counter`` is
         system-wide on Linux, so intervals from process workers are
         comparable with the parent's.  The streaming data plane uses
-        this to account per-stage overlap.
+        this to account per-stage overlap.  ``delay`` is injected
+        straggler latency (fault testing) applied in the worker.
         """
         if self.engine == SERIAL:
             future: cf.Future = cf.Future()
             try:
-                future.set_result(_timed_call(command.run, chunk))
+                future.set_result(_timed_call(command.run, chunk, delay))
             except BaseException as exc:  # noqa: BLE001 - mirror pool behavior
                 future.set_exception(exc)
             return future
         pool = self._ensure_pool()
         if self.engine == PROCESSES and command.backend == "sim":
-            return pool.submit(_run_chunk_timed, command.argv, chunk)
-        return pool.submit(_timed_call, command.run, chunk)
+            return pool.submit(_run_chunk_timed, command.argv, chunk, delay)
+        return pool.submit(_timed_call, command.run, chunk, delay)
+
+    def call_timed(self, command: Command, chunk: str, delay: float = 0.0
+                   ) -> Tuple[str, float, float]:
+        """Synchronous :meth:`submit_timed` — the chunk scheduler's hook.
+
+        Work-stealing coordinator threads block here; actual compute
+        still happens in the engine's worker pool (or inline under
+        ``serial``), so the pool keeps bounding total concurrency.
+        """
+        if self.engine == SERIAL:
+            return _timed_call(command.run, chunk, delay)
+        return self.submit_timed(command, chunk, delay).result()
 
 
 class RunnerPool:

@@ -1,0 +1,677 @@
+"""Adaptive, fault-tolerant chunk scheduling for parallel stages.
+
+The planner decides *what* runs in parallel; this module decides *how*
+the chunk tasks of one parallel stage are placed on workers and what
+happens when a task fails or straggles:
+
+* **static** — the original assignment: the stage's input is split
+  into exactly ``k`` byte-balanced chunks and each worker owns one.
+  Cheap and optimal on uniform data, but one expensive chunk (skewed
+  cost per byte) or one slow worker serializes the whole stage.
+* **stealing** — chunk tasks live in per-worker deques seeded round-
+  robin; a worker that drains its own deque steals from the busiest
+  peer's tail.  The stage input is carved *adaptively*: chunks start
+  small and grow toward a per-task target latency measured online
+  (:class:`AdaptiveSplitter`), so the task pool is fine-grained enough
+  to balance skew without paying per-task overhead on uniform data.
+
+The fault-tolerance layer applies under both schedulers:
+
+* **retry** — a failed chunk attempt is re-enqueued, up to
+  ``max_attempts`` dispatches per chunk;
+* **speculation** — when every queue is empty but results are still
+  outstanding, a duplicate of the longest-running task is launched
+  once its elapsed time exceeds an ETA derived from the p50 of
+  completed task durations; the first result wins.
+
+Both are *legal* because chunk evaluation is deterministic: simulated
+commands are pure functions of ``(chunk, virtual fs)``, so re-running
+a chunk — concurrently or after a failure — can only reproduce the
+byte-identical output the first attempt would have produced.
+Reassembly is by chunk index, never completion order, so retries,
+steals, and speculation are invisible in the output stream.
+
+Chunk-count independence: synthesized combiners are insensitive to
+line-aligned chunk boundaries (the same property the streaming plane's
+oversplitting relies on), so the adaptive splitter may choose any
+decomposition without affecting the combined result.
+
+:class:`FaultPolicy` is the deterministic fault-injection hook used by
+the fault-tolerance test suite and the evaluation harness: it kills or
+delays specific ``(stage, chunk, attempt)`` dispatches, so tests can
+assert that the retry/speculation counters in :class:`SchedulerStats`
+match exactly the faults injected.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: chunk schedulers
+STATIC = "static"
+STEALING = "stealing"
+#: sentinel: let the optimizer's cost model pick the scheduler
+AUTO = "auto"
+
+SCHEDULERS = (STATIC, STEALING)
+
+#: a stealing decomposition never exceeds this many chunks per worker
+STEAL_OVERSPLIT = 8
+
+#: adaptive chunks start at this size (and never shrink below it)
+MIN_ADAPTIVE_CHUNK_BYTES = 8 * 1024
+
+#: modeled per-task dispatch overhead charged to the stealing scheduler
+#: by the cost model (deque + steal bookkeeping per chunk task)
+DEFAULT_TASK_OVERHEAD = 5e-5
+
+
+def stealing_chunk_count(nbytes: int, k: int) -> int:
+    """Number of chunks a stealing decomposition targets for ``nbytes``.
+
+    Mirrors :class:`AdaptiveSplitter`'s bounds so the cost model prices
+    the decomposition the runtime would actually use: at least ``k``
+    chunks, at most ``STEAL_OVERSPLIT`` per worker, and never smaller
+    than :data:`MIN_ADAPTIVE_CHUNK_BYTES` each.
+    """
+    if k <= 1:
+        return 1
+    return max(k, min(k * STEAL_OVERSPLIT,
+                      nbytes // MIN_ADAPTIVE_CHUNK_BYTES))
+
+
+class InjectedFault(RuntimeError):
+    """A chunk-task failure injected by a :class:`FaultPolicy`."""
+
+
+class FaultPolicy:
+    """Deterministic per-attempt fault injection.
+
+    ``kill`` maps ``(stage_index, chunk_index)`` to the number of
+    leading attempts that fail with :class:`InjectedFault`; ``delay``
+    maps ``(stage_index, chunk_index)`` to seconds of added latency on
+    the *first* attempt only — a straggler models a slow worker, not
+    slow data, so a retry or speculative duplicate placed elsewhere
+    runs at full speed.  ``kill_first`` kills
+    the first ``n`` attempt-dispatches observed anywhere in the run —
+    the "a worker died mid-job" simulation used by the all-scripts
+    fault sweep.  Counters record what was actually injected so tests
+    can equate them with :class:`SchedulerStats`.
+    """
+
+    def __init__(self,
+                 kill: Optional[Dict[Tuple[int, int], int]] = None,
+                 delay: Optional[Dict[Tuple[int, int], float]] = None,
+                 kill_first: int = 0) -> None:
+        self.kill = dict(kill or {})
+        self.delay = dict(delay or {})
+        self.kill_first = kill_first
+        self.injected_kills = 0
+        self.injected_delays = 0
+        self._seen_attempts = 0
+        self._lock = threading.Lock()
+
+    def begin_attempt(self, stage_index: int, chunk_index: int,
+                      attempt: int) -> float:
+        """Gate one dispatch: returns added delay seconds or raises.
+
+        Called exactly once per attempt, in the dispatching thread, so
+        injection is deterministic in ``(stage, chunk, attempt)`` (and
+        in global dispatch order for ``kill_first``).
+        """
+        with self._lock:
+            self._seen_attempts += 1
+            if self._seen_attempts <= self.kill_first:
+                self.injected_kills += 1
+                raise InjectedFault(
+                    f"injected worker failure (dispatch "
+                    f"#{self._seen_attempts} of run)")
+            if attempt < self.kill.get((stage_index, chunk_index), 0):
+                self.injected_kills += 1
+                raise InjectedFault(
+                    f"injected failure: stage {stage_index} "
+                    f"chunk {chunk_index} attempt {attempt}")
+            if attempt > 0:
+                return 0.0
+            seconds = self.delay.get((stage_index, chunk_index), 0.0)
+            if seconds > 0.0:
+                self.injected_delays += 1
+            return seconds
+
+
+@dataclass
+class SchedulerConfig:
+    """Runtime knobs of the chunk scheduler (CLI/service map onto these)."""
+
+    #: dispatches allowed per chunk before the stage fails
+    max_attempts: int = 3
+    #: launch straggler duplicates (needs a concurrent engine)
+    speculate: bool = False
+    #: speculate when a task's elapsed time exceeds this multiple of
+    #: the p50 of completed task durations
+    speculation_factor: float = 2.0
+    #: completed tasks required before the p50 ETA is trusted
+    speculation_min_samples: int = 3
+    #: never speculate before a task has run at least this long
+    speculation_min_seconds: float = 0.05
+    #: adaptive sizing aims each chunk at this many seconds of work
+    target_chunk_seconds: float = 0.05
+    #: adaptive chunks start at (and never shrink below) this size
+    min_chunk_bytes: int = MIN_ADAPTIVE_CHUNK_BYTES
+    #: chunk tasks per worker the adaptive splitter will not exceed
+    oversplit: int = STEAL_OVERSPLIT
+
+
+@dataclass
+class SchedulerStats:
+    """Observable behavior of one run's chunk scheduling.
+
+    One instance is shared by every stage of a pipeline execution and
+    lands in :attr:`RunStats.scheduler`; the service aggregates these
+    per job into its ``/v1/status`` runtime counters.
+    """
+
+    name: str = STATIC
+    speculate: bool = False
+    #: distinct chunk tasks scheduled across all parallel stages
+    tasks: int = 0
+    #: tasks a worker took from another worker's deque
+    steals: int = 0
+    #: re-enqueued dispatches after a failed attempt
+    retries: int = 0
+    #: attempts that raised (injected or genuine), retried or not
+    failures: int = 0
+    #: straggler duplicates launched
+    speculations: int = 0
+    #: duplicates that beat the original attempt
+    speculation_wins: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "speculate": self.speculate,
+            "tasks": self.tasks, "steals": self.steals,
+            "retries": self.retries, "failures": self.failures,
+            "speculations": self.speculations,
+            "speculation_wins": self.speculation_wins,
+        }
+
+
+def scheduler_stats_from_dict(data: dict) -> SchedulerStats:
+    return SchedulerStats(
+        name=data.get("name", STATIC),
+        speculate=data.get("speculate", False),
+        tasks=data.get("tasks", 0), steals=data.get("steals", 0),
+        retries=data.get("retries", 0), failures=data.get("failures", 0),
+        speculations=data.get("speculations", 0),
+        speculation_wins=data.get("speculation_wins", 0))
+
+
+class AdaptiveSplitter:
+    """Carves line-aligned chunks off a stream, sized from live feedback.
+
+    The first chunks are small (``min_chunk_bytes``) so per-chunk cost
+    is measured early; :meth:`observe` folds completed-task timings
+    into a bytes-per-second estimate, and subsequent chunks grow toward
+    ``target_chunk_seconds`` of estimated work.  Bounds keep the total
+    decomposition between ``k`` and ``oversplit * k`` chunks, and every
+    chunk is a valid stream piece: pieces are contiguous, non-empty,
+    newline-terminated (except possibly the final piece of a
+    newline-free tail), and concatenate back to the input.
+    """
+
+    def __init__(self, data: str, k: int,
+                 config: Optional[SchedulerConfig] = None) -> None:
+        self.data = data
+        self.k = max(1, k)
+        self.config = config or SchedulerConfig()
+        self._pos = 0
+        self._rate: Optional[float] = None  # observed bytes per second
+        # never shrink chunks below the size that would overshoot the
+        # task-count budget
+        budget = self.config.oversplit * self.k
+        self._floor = max(self.config.min_chunk_bytes,
+                          -(-len(data) // budget) if data else 1)
+        self._ceiling = max(self._floor, len(data) // self.k or len(data))
+
+    def observe(self, nbytes: int, seconds: float) -> None:
+        """Fold one completed chunk's measured throughput into sizing."""
+        if nbytes <= 0 or seconds <= 0.0:
+            return
+        rate = nbytes / seconds
+        self._rate = rate if self._rate is None \
+            else 0.5 * self._rate + 0.5 * rate
+
+    def _next_size(self) -> int:
+        if self._rate is None:
+            return self._floor
+        want = int(self._rate * self.config.target_chunk_seconds)
+        return max(self._floor, min(want, self._ceiling))
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self.data)
+
+    def next_chunk(self) -> Optional[str]:
+        """The next line-aligned chunk, or ``None`` at end of stream."""
+        if self.exhausted:
+            return None
+        start = self._pos
+        cut = start + self._next_size()
+        if cut >= len(self.data):
+            self._pos = len(self.data)
+            return self.data[start:]
+        nl = self.data.find("\n", cut)
+        if nl == -1:  # newline-free tail: emit it whole
+            self._pos = len(self.data)
+            return self.data[start:]
+        self._pos = nl + 1
+        return self.data[start : nl + 1]
+
+
+def attempt_call(call: Callable[[], Tuple[str, float, float]],
+                 stage_index: int, chunk_index: int,
+                 config: SchedulerConfig,
+                 fault_policy: Optional[FaultPolicy],
+                 stats: SchedulerStats,
+                 run_delayed: Optional[
+                     Callable[[float], Tuple[str, float, float]]] = None,
+                 ) -> Tuple[str, float, float]:
+    """Run one chunk with bounded retries (the serial dispatch path).
+
+    ``call`` performs the timed execution; ``run_delayed`` (when given)
+    performs it with an injected straggler delay.  Retries every
+    failure — injected or genuine — until ``max_attempts`` dispatches
+    are spent, then re-raises the last error.
+    """
+    attempt = 0
+    while True:
+        try:
+            delay = 0.0
+            if fault_policy is not None:
+                delay = fault_policy.begin_attempt(stage_index, chunk_index,
+                                                   attempt)
+            if delay > 0.0 and run_delayed is not None:
+                return run_delayed(delay)
+            return call()
+        except Exception:
+            attempt += 1
+            stats.bump("failures")
+            if attempt >= config.max_attempts:
+                raise
+            stats.bump("retries")
+
+
+class ChunkScheduler:
+    """Work-stealing execution of one parallel stage's chunk tasks.
+
+    ``workers`` coordinator threads share a set of per-worker deques;
+    chunk compute is dispatched synchronously through
+    ``run_chunk(chunk, delay)`` (the executor binds this to the shared
+    :class:`~repro.parallel.runner.StageRunner`, so the engine's worker
+    pool still bounds total compute concurrency).  Results are keyed by
+    chunk index; :meth:`run_chunks`/:meth:`run_stream` return them in
+    input order regardless of completion order.
+    """
+
+    def __init__(self, run_chunk: Callable[[str, float],
+                                           Tuple[str, float, float]],
+                 *, stage_index: int = 0, workers: int = 1,
+                 config: Optional[SchedulerConfig] = None,
+                 fault_policy: Optional[FaultPolicy] = None,
+                 stats: Optional[SchedulerStats] = None,
+                 on_result: Optional[Callable[[int, str], None]] = None,
+                 ) -> None:
+        self.run_chunk = run_chunk
+        self.stage_index = stage_index
+        self.workers = max(1, workers)
+        self.config = config or SchedulerConfig()
+        self.fault_policy = fault_policy
+        self.stats = stats if stats is not None else SchedulerStats()
+        self.on_result = on_result
+        self.intervals: List[Tuple[float, float]] = []
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._deques: List[deque] = [deque() for _ in range(self.workers)]
+        self._results: Dict[int, str] = {}
+        self._durations: List[float] = []
+        self._attempts: Dict[int, int] = {}     # dispatches begun per chunk
+        self._inflight: Dict[int, int] = {}     # attempts running per chunk
+        self._running_since: Dict[int, float] = {}
+        self._speculated: set = set()
+        self._splitter: Optional[AdaptiveSplitter] = None
+        self._chunks_by_index: Dict[int, str] = {}
+        self._produced = 0
+        self._emitted = 0
+        self._error: Optional[BaseException] = None
+
+    # -- public entry points -------------------------------------------------
+
+    def run_chunks(self, chunks: List[str]) -> List[str]:
+        """Schedule a fixed, pre-split chunk list."""
+        for i, chunk in enumerate(chunks):
+            self._deques[i % self.workers].append(self._task(i, chunk))
+        self._produced = len(chunks)
+        self._splitter = None
+        return self._run()
+
+    def run_stream(self, data: str, k: int) -> List[str]:
+        """Adaptively carve ``data`` into tasks while scheduling them.
+
+        Returns the per-chunk outputs in stream order; the chosen
+        decomposition concatenates back to ``data``, so any combiner
+        legal for the static split is legal here too.
+        """
+        self._splitter = AdaptiveSplitter(data, k, self.config)
+        if self._splitter.exhausted:
+            # an empty stream still runs the command once: commands map
+            # empty input to a fixed output (e.g. ``wc -l`` -> "0"),
+            # matching the serial run and the static [""] split
+            self._deques[0].append(self._task(0, ""))
+            self._produced = 1
+            self._splitter = None
+        else:
+            self._carve_batch()
+        return self._run()
+
+    # -- task plumbing -------------------------------------------------------
+
+    def _task(self, index: int, chunk: str, speculative: bool = False):
+        return (index, chunk, speculative)
+
+    def _carve_batch(self) -> bool:
+        """Carve up to one new task per worker; True if any were carved."""
+        assert self._splitter is not None
+        carved = False
+        for w in range(self.workers):
+            chunk = self._splitter.next_chunk()
+            if chunk is None:
+                break
+            self._deques[w].append(self._task(self._produced, chunk))
+            self._produced += 1
+            carved = True
+        return carved
+
+    @property
+    def _done(self) -> bool:
+        produced_all = self._splitter is None or self._splitter.exhausted
+        return produced_all and len(self._results) >= self._produced
+
+    def _eta(self) -> Optional[float]:
+        if len(self._durations) < self.config.speculation_min_samples:
+            return None
+        p50 = statistics.median(self._durations)
+        return max(self.config.speculation_factor * p50,
+                   self.config.speculation_min_seconds)
+
+    def _next_task(self, w: int):
+        """Block until a task is available for worker ``w`` (or all done)."""
+        with self._cond:
+            while True:
+                if self._error is not None or self._done:
+                    self._cond.notify_all()
+                    return None
+                own = self._deques[w]
+                if own:
+                    return own.popleft()
+                victim = max((d for d in self._deques if d),
+                             key=len, default=None)
+                if victim is not None:
+                    self.stats.bump("steals")
+                    return victim.pop()
+                if self._splitter is not None \
+                        and not self._splitter.exhausted:
+                    if self._carve_batch() and self._deques[w]:
+                        return self._deques[w].popleft()
+                    continue
+                task = self._pick_straggler()
+                if task is not None:
+                    return task
+                self._cond.wait(timeout=0.02)
+
+    def _pick_straggler(self):
+        """A speculative duplicate of the most overdue running task."""
+        if not self.config.speculate or self.workers < 2:
+            return None
+        eta = self._eta()
+        if eta is None:
+            return None
+        now = time.perf_counter()
+        overdue = [(now - since, idx)
+                   for idx, since in self._running_since.items()
+                   if idx not in self._speculated
+                   and idx not in self._results
+                   and self._attempts.get(idx, 0) < self.config.max_attempts
+                   and now - since > eta]
+        if not overdue:
+            return None
+        _, idx = max(overdue)
+        self._speculated.add(idx)
+        self.stats.bump("speculations")
+        return self._task(idx, self._chunks_by_index[idx], speculative=True)
+
+    def _execute(self, task, w: int) -> None:
+        idx, chunk, speculative = task
+        with self._cond:
+            if idx in self._results:
+                return  # the other attempt already won
+            attempt = self._attempts.get(idx, 0)
+            self._attempts[idx] = attempt + 1
+            self._inflight[idx] = self._inflight.get(idx, 0) + 1
+            self._running_since.setdefault(idx, time.perf_counter())
+            self._chunks_by_index[idx] = chunk
+        started = time.perf_counter()
+        try:
+            delay = 0.0
+            if self.fault_policy is not None:
+                delay = self.fault_policy.begin_attempt(
+                    self.stage_index, idx, attempt)
+            out, t0, t1 = self.run_chunk(chunk, delay)
+        except Exception as exc:
+            self.stats.bump("failures")
+            with self._cond:
+                self._inflight[idx] -= 1
+                if idx in self._results:
+                    self._cond.notify_all()
+                    return  # a concurrent attempt won; failure is moot
+                if self._attempts.get(idx, 0) < self.config.max_attempts:
+                    self.stats.bump("retries")
+                    self._deques[w].append(self._task(idx, chunk))
+                elif self._inflight[idx] <= 0:
+                    # no attempt left that could still resolve the chunk
+                    self._error = self._error or exc
+                self._cond.notify_all()
+            return
+        elapsed = time.perf_counter() - started
+        if self._splitter is not None:
+            self._splitter.observe(len(chunk), elapsed)
+        with self._cond:
+            self._inflight[idx] -= 1
+            if idx not in self._results:
+                # only the winning attempt contributes accounting: a
+                # losing duplicate may land after run() has returned,
+                # when the caller already owns the interval list
+                self._durations.append(elapsed)
+                self.intervals.append((t0, t1))
+                self._results[idx] = out
+                self._running_since.pop(idx, None)
+                if speculative:
+                    self.stats.bump("speculation_wins")
+            self._cond.notify_all()
+
+    def _worker(self, w: int) -> None:
+        try:
+            while True:
+                task = self._next_task(w)
+                if task is None:
+                    return
+                self._execute(task, w)
+        except BaseException as exc:  # noqa: BLE001 - ferried to caller
+            with self._cond:
+                self._error = self._error or exc
+                self._cond.notify_all()
+
+    def _pending_emits(self) -> List[Tuple[int, str]]:
+        """Pop the newly completed prefix (caller must hold the lock)."""
+        out: List[Tuple[int, str]] = []
+        while self._emitted in self._results:
+            out.append((self._emitted, self._results[self._emitted]))
+            self._emitted += 1
+        return out
+
+    def _run(self) -> List[str]:
+        if self.workers == 1:
+            self._worker(0)
+            if self._error is None and self.on_result is not None:
+                for pair in self._pending_emits():
+                    self.on_result(*pair)
+        else:
+            threads = [threading.Thread(target=self._worker, args=(w,),
+                                        name=f"repro-steal-{w}", daemon=True)
+                       for w in range(self.workers)]
+            for t in threads:
+                t.start()
+            # wait for *results*, not workers: when a speculative
+            # duplicate wins, the superseded original may still be
+            # executing — its result is discarded on arrival and its
+            # worker exits on the next task poll, so joining it would
+            # forfeit exactly the latency speculation recovered.
+            # on_result emission happens HERE, in the single calling
+            # thread: workers emitting directly could interleave out of
+            # order or leave chunks unemitted at return, and a blocking
+            # sink (bounded queue) must not stall a compute worker.
+            while True:
+                with self._cond:
+                    emits = self._pending_emits() \
+                        if self.on_result is not None else []
+                    if not emits:
+                        if self._done or self._error is not None:
+                            break
+                        self._cond.wait(timeout=0.05)
+                        continue
+                for pair in emits:
+                    self.on_result(*pair)
+        self.stats.bump("tasks", self._produced)
+        if self._error is not None:
+            raise self._error
+        return [self._results[i] for i in range(self._produced)]
+
+
+class TaskSet:
+    """Fault-tolerant in-order dispatch for the streaming data plane.
+
+    The streaming pump keeps chunks flowing downstream in submission
+    order, so it cannot hand a whole task pool to the deque scheduler;
+    instead every chunk dispatch is wrapped here: kill-faults are
+    retried at submit time, failures surfacing at drain time are
+    re-dispatched (bounded by ``max_attempts``), and a head-of-line
+    chunk that exceeds the p50-based ETA gets one speculative duplicate
+    — first result wins, exactly the deque scheduler's policy.
+    """
+
+    def __init__(self, submit: Callable[[str, float], "object"],
+                 *, stage_index: int = 0,
+                 config: Optional[SchedulerConfig] = None,
+                 fault_policy: Optional[FaultPolicy] = None,
+                 stats: Optional[SchedulerStats] = None,
+                 concurrent: bool = True) -> None:
+        self._submit = submit            # (chunk, delay) -> Future
+        self.stage_index = stage_index
+        self.config = config or SchedulerConfig()
+        self.fault_policy = fault_policy
+        self.stats = stats if stats is not None else SchedulerStats()
+        self.concurrent = concurrent
+        self._durations: List[float] = []
+
+    def submit(self, index: int, chunk: str):
+        """Dispatch one chunk; returns an opaque entry for :meth:`result`."""
+        self.stats.bump("tasks")
+        future, attempt = self._dispatch(index, chunk, 0)
+        return [index, chunk, attempt, future, None, time.perf_counter()]
+
+    def _dispatch(self, index: int, chunk: str, attempt: int):
+        """One attempt, retrying kill-faults raised before dispatch."""
+        while True:
+            try:
+                delay = 0.0
+                if self.fault_policy is not None:
+                    delay = self.fault_policy.begin_attempt(
+                        self.stage_index, index, attempt)
+                return self._submit(chunk, delay), attempt + 1
+            except Exception:
+                attempt += 1
+                self.stats.bump("failures")
+                if attempt >= self.config.max_attempts:
+                    raise
+                self.stats.bump("retries")
+
+    def _eta(self) -> Optional[float]:
+        if len(self._durations) < self.config.speculation_min_samples:
+            return None
+        p50 = statistics.median(self._durations)
+        return max(self.config.speculation_factor * p50,
+                   self.config.speculation_min_seconds)
+
+    def result(self, entry) -> Tuple[str, float, float]:
+        """Block for one entry's output, retrying and speculating."""
+        import concurrent.futures as cf
+
+        index, chunk, attempts, future, spec, submitted = entry
+        while True:
+            waiting = {f for f in (future, spec) if f is not None}
+            eta = self._eta() if (self.config.speculate and self.concurrent
+                                  and spec is None
+                                  and attempts < self.config.max_attempts) \
+                else None
+            timeout = None
+            if eta is not None:
+                timeout = max(0.0, eta - (time.perf_counter() - submitted))
+            done, _ = cf.wait(waiting, timeout=timeout,
+                              return_when=cf.FIRST_COMPLETED)
+            if not done:
+                # head-of-line straggler: launch the one duplicate
+                self.stats.bump("speculations")
+                spec, attempts = self._dispatch(index, chunk, attempts)
+                entry[2], entry[4] = attempts, spec
+                continue
+            winner = done.pop()
+            try:
+                out, t0, t1 = winner.result()
+            except Exception:
+                self.stats.bump("failures")
+                still_running = (spec if winner is future else future) \
+                    if winner in (future, spec) and spec is not None else None
+                if still_running is not None:
+                    # the other attempt may still succeed
+                    if winner is future:
+                        future, spec = spec, None
+                    else:
+                        spec = None
+                    entry[3], entry[4] = future, spec
+                    continue
+                if attempts >= self.config.max_attempts:
+                    raise
+                self.stats.bump("retries")
+                future, attempts = self._dispatch(index, chunk, attempts)
+                spec = None
+                # the retry's speculation clock starts now — judging it
+                # against the failed attempt's submit time would trigger
+                # an instant (wasted) duplicate
+                submitted = time.perf_counter()
+                entry[2], entry[3], entry[4] = attempts, future, spec
+                entry[5] = submitted
+                continue
+            self._durations.append(t1 - t0)
+            if spec is not None and winner is spec:
+                self.stats.bump("speculation_wins")
+            return out, t0, t1

@@ -61,7 +61,17 @@ from ..core.dsl.semantics import EvalEnv
 from ..unixsim.head_tail import Head
 from ..unixsim.sed_cmd import SedQuit
 from .planner import PipelinePlan, StagePlan
-from .runner import SERIAL, StageRunner
+from .runner import SERIAL, StageRunner, _timed_call
+from .scheduler import (
+    ChunkScheduler,
+    FaultPolicy,
+    STATIC,
+    STEALING,
+    SchedulerConfig,
+    SchedulerStats,
+    TaskSet,
+    attempt_call,
+)
 from .splitter import split_stream
 
 #: chunks buffered between two pump threads before the producer blocks
@@ -93,9 +103,8 @@ def stream_chunk_count(nbytes: int, k: int) -> int:
     return max(k, min(k * OVERSPLIT, nbytes // MIN_CHUNK_BYTES))
 
 
-def split_count(stages: Sequence["StagePlan"], index: int, k: int,
-                nbytes: int) -> int:
-    """Chunk count for the decomposition started at stage ``index``.
+def combine_is_cheap(stages: Sequence["StagePlan"], index: int) -> bool:
+    """May the decomposition started at stage ``index`` be oversplit?
 
     A decomposition persists through the eliminated chain starting at
     ``index`` until some stage consumes it.  Oversplitting only pays
@@ -103,7 +112,8 @@ def split_count(stages: Sequence["StagePlan"], index: int, k: int,
     k-way fast paths; a sequential join is a plain concat): the generic
     pairwise fold re-reads the accumulated stream once per chunk, so
     handing it more chunks than workers trades O(chunks * bytes)
-    combine work for no extra parallelism.
+    combine work for no extra parallelism.  The work-stealing
+    scheduler's adaptive splitter obeys the same predicate.
     """
     j = index
     while j < len(stages) and stages[j].parallel and stages[j].eliminated:
@@ -113,7 +123,15 @@ def split_count(stages: Sequence["StagePlan"], index: int, k: int,
         if combiner is not None and not (combiner.is_concat()
                                          or combiner.is_merge()
                                          or combiner.is_rerun()):
-            return k
+            return False
+    return True
+
+
+def split_count(stages: Sequence["StagePlan"], index: int, k: int,
+                nbytes: int) -> int:
+    """Chunk count for the decomposition started at stage ``index``."""
+    if not combine_is_cheap(stages, index):
+        return k
     return stream_chunk_count(nbytes, k)
 
 
@@ -237,6 +255,21 @@ def input_is_chunked(stages: Sequence[StagePlan], index: int) -> bool:
     return prev.parallel and prev.eliminated
 
 
+class _SchedulerContext:
+    """Per-run scheduling state shared by every stage's pump."""
+
+    __slots__ = ("scheduler", "config", "fault_policy", "stats")
+
+    def __init__(self, scheduler: str = STATIC,
+                 config: Optional[SchedulerConfig] = None,
+                 fault_policy: Optional[FaultPolicy] = None,
+                 stats: Optional[SchedulerStats] = None) -> None:
+        self.scheduler = scheduler
+        self.config = config or SchedulerConfig()
+        self.fault_policy = fault_policy
+        self.stats = stats if stats is not None else SchedulerStats()
+
+
 def _combine(stage: StagePlan, outputs: List[str]) -> str:
     env = EvalEnv(run_command=stage.command.run)
     if stage.combiner is not None:
@@ -250,7 +283,7 @@ def _combine(stage: StagePlan, outputs: List[str]) -> str:
 
 def _serial_stage(stages: Sequence[StagePlan], index: int, trace: StageTrace,
                   upstream: Iterator[str], chunked: bool,
-                  k: int) -> Tuple[Iterator[str], bool]:
+                  k: int, ctx: _SchedulerContext) -> Tuple[Iterator[str], bool]:
     stage = stages[index]
     limit = None if stage.eliminated else prefix_limit(stage.command)
     if limit is not None:
@@ -287,12 +320,19 @@ def _serial_stage(stages: Sequence[StagePlan], index: int, trace: StageTrace,
                 data, split_count(stages, index, k, len(data)))
 
     def mapped() -> Iterator[str]:
-        for chunk in incoming():
+        # the serial engine has one thread of control, so stealing and
+        # speculation degenerate; the fault-tolerance layer (injection
+        # + bounded per-chunk retry) still applies to every chunk task
+        for ci, chunk in enumerate(incoming()):
             trace.bytes_in += len(chunk)
             trace.chunks += 1
-            t0 = time.perf_counter()
-            out = stage.command.run(chunk)
-            trace.record(t0, time.perf_counter())
+            ctx.stats.bump("tasks")
+            out, t0, t1 = attempt_call(
+                lambda c=chunk: _timed_call(stage.command.run, c),
+                index, ci, ctx.config, ctx.fault_policy, ctx.stats,
+                run_delayed=lambda d, c=chunk: _timed_call(
+                    stage.command.run, c, d))
+            trace.record(t0, t1)
             yield out
 
     if stage.eliminated:
@@ -313,12 +353,12 @@ def _serial_stage(stages: Sequence[StagePlan], index: int, trace: StageTrace,
 
 
 def _run_serial(plan: PipelinePlan, k: int, traces: List[StageTrace],
-                initial: str) -> str:
+                initial: str, ctx: _SchedulerContext) -> str:
     current: Iterator[str] = iter((initial,))
     chunked = False
     for index, trace in enumerate(traces):
         current, chunked = _serial_stage(plan.stages, index, trace,
-                                         current, chunked, k)
+                                         current, chunked, k, ctx)
     return "".join(current)
 
 
@@ -372,7 +412,7 @@ def _iter_queue(link: _Link,
 def _pump(stages: Sequence[StagePlan], index: int, trace: StageTrace,
           in_q: _Link, out_q: _Link, chunked_in: bool,
           k: int, runner: StageRunner, abort: threading.Event,
-          errors: List[BaseException]) -> None:
+          errors: List[BaseException], ctx: _SchedulerContext) -> None:
     stage = stages[index]
     limit = None if stage.eliminated else prefix_limit(stage.command)
     try:
@@ -402,6 +442,38 @@ def _pump(stages: Sequence[StagePlan], index: int, trace: StageTrace,
             _put(out_q, _DONE, abort)
             return
 
+        if ctx.scheduler == STEALING and not chunked_in \
+                and combine_is_cheap(stages, index):
+            # work-stealing path: this stage starts a decomposition, so
+            # the whole chunk-task pool exists here — gather the input,
+            # carve it adaptively, and let idle workers steal.  Output
+            # chunks are released downstream in index order as the
+            # completed prefix grows, preserving chunk pipelining.
+            data = "".join(_iter_queue(in_q, abort))
+            trace.bytes_in += len(data)
+
+            def emit(_idx: int, out: str) -> None:
+                trace.bytes_out += len(out)
+                _put(out_q, out, abort)
+
+            chunk_scheduler = ChunkScheduler(
+                lambda chunk, delay: runner.call_timed(stage.command,
+                                                       chunk, delay),
+                stage_index=index, workers=max(1, k), config=ctx.config,
+                fault_policy=ctx.fault_policy, stats=ctx.stats,
+                on_result=emit if stage.eliminated else None)
+            outputs = chunk_scheduler.run_stream(data, k)
+            trace.chunks += len(outputs)
+            trace.intervals.extend(chunk_scheduler.intervals)
+            if not stage.eliminated:
+                t0 = time.perf_counter()
+                combined = _combine(stage, outputs)
+                trace.record(t0, time.perf_counter())
+                trace.bytes_out += len(combined)
+                _put(out_q, combined, abort)
+            _put(out_q, _DONE, abort)
+            return
+
         def incoming() -> Iterator[str]:
             if chunked_in:
                 yield from _iter_queue(in_q, abort)
@@ -413,9 +485,15 @@ def _pump(stages: Sequence[StagePlan], index: int, trace: StageTrace,
         sink_outputs: Optional[List[str]] = \
             None if stage.eliminated else []
         pending: deque = deque()
+        tasks = TaskSet(
+            lambda chunk, delay: runner.submit_timed(stage.command, chunk,
+                                                     delay),
+            stage_index=index, config=ctx.config,
+            fault_policy=ctx.fault_policy, stats=ctx.stats,
+            concurrent=runner.engine != SERIAL)
 
         def drain_one() -> None:
-            out, t0, t1 = pending.popleft().result()
+            out, t0, t1 = tasks.result(pending.popleft())
             trace.record(t0, t1)
             if sink_outputs is None:
                 trace.bytes_out += len(out)
@@ -423,14 +501,14 @@ def _pump(stages: Sequence[StagePlan], index: int, trace: StageTrace,
             else:
                 sink_outputs.append(out)
 
-        for chunk in incoming():
+        for ci, chunk in enumerate(incoming()):
             trace.bytes_in += len(chunk)
             trace.chunks += 1
-            pending.append(runner.submit_timed(stage.command, chunk))
+            pending.append(tasks.submit(ci, chunk))
             # drain in submission order so the downstream stage sees the
             # barrier engine's chunk sequence: eagerly when the head is
             # already done, forcibly to keep at most k chunks in flight
-            while pending and (pending[0].done()
+            while pending and (pending[0][3].done()
                                or len(pending) >= max(1, k)):
                 drain_one()
         while pending:
@@ -456,7 +534,7 @@ def _pump(stages: Sequence[StagePlan], index: int, trace: StageTrace,
 
 def _run_threaded(plan: PipelinePlan, k: int, traces: List[StageTrace],
                   runner: StageRunner, initial: str,
-                  queue_depth: int) -> str:
+                  queue_depth: int, ctx: _SchedulerContext) -> str:
     stages = plan.stages
     depth = queue_depth
     links = [_Link(depth) for _ in range(len(stages) + 1)]
@@ -466,7 +544,8 @@ def _run_threaded(plan: PipelinePlan, k: int, traces: List[StageTrace],
         threading.Thread(
             target=_pump,
             args=(stages, i, traces[i], links[i], links[i + 1],
-                  input_is_chunked(stages, i), k, runner, abort, errors),
+                  input_is_chunked(stages, i), k, runner, abort, errors,
+                  ctx),
             name=f"repro-stage-{i}", daemon=True)
         for i in range(len(stages))
     ]
@@ -505,22 +584,35 @@ def run_chunk_pipelined(
     runner: StageRunner,
     initial: str,
     queue_depth: Optional[int] = None,
+    scheduler: str = STATIC,
+    scheduler_config: Optional[SchedulerConfig] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    scheduler_stats: Optional[SchedulerStats] = None,
 ) -> Tuple[str, List[StageTrace]]:
     """Execute ``plan`` with the streaming data plane.
 
     Returns the final output stream and one :class:`StageTrace` per
     stage (busy intervals, bytes in/out, chunk counts) for the
-    executor to fold into :class:`RunStats`.
+    executor to fold into :class:`RunStats`.  ``scheduler`` selects the
+    chunk-task placement for decomposition-starting parallel stages
+    (static split vs work stealing); the fault-tolerance layer
+    (``fault_policy`` injection, bounded retry, speculation per
+    ``scheduler_config``) applies to every parallel chunk task under
+    both schedulers, and its counters land in ``scheduler_stats``.
     """
     if queue_depth is None:
         queue_depth = DEFAULT_QUEUE_DEPTH
     if queue_depth < 1:
         raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+    ctx = _SchedulerContext(scheduler=scheduler, config=scheduler_config,
+                            fault_policy=fault_policy,
+                            stats=scheduler_stats)
     traces = [StageTrace() for _ in plan.stages]
     if not plan.stages:
         return initial, traces
     if runner.engine == SERIAL:
-        output = _run_serial(plan, k, traces, initial)
+        output = _run_serial(plan, k, traces, initial, ctx)
     else:
-        output = _run_threaded(plan, k, traces, runner, initial, queue_depth)
+        output = _run_threaded(plan, k, traces, runner, initial,
+                               queue_depth, ctx)
     return output, traces

@@ -74,6 +74,9 @@ def plan_cache_key(request: JobRequest,
         fs_digest(request.files),
         tuple(sorted(dataclasses.asdict(config).items())),
         request.optimize,
+        # the chunk scheduler is a plan attribute: an "auto" plan
+        # resolved by the cost model must not serve a pinned request
+        getattr(request, "scheduler", "auto"),
     )
 
 
@@ -150,11 +153,14 @@ class PlanCache:
             from ..optimizer import select_plan
 
             plan, _optimization = select_plan(pipeline, config=config,
-                                              store=self.store)
+                                              store=self.store,
+                                              scheduler=request.scheduler)
             return plan
         results = synthesize_pipeline(pipeline, config=config,
                                       store=self.store)
-        return compile_pipeline(pipeline, results, optimize=request.optimize)
+        scheduler = request.scheduler
+        return compile_pipeline(pipeline, results, optimize=request.optimize,
+                                scheduler=scheduler)
 
     # -- introspection -------------------------------------------------------
 

@@ -103,12 +103,15 @@ class ServiceClient:
     def submit(self, pipeline: str, files: Optional[Dict[str, str]] = None,
                env: Optional[Dict[str, str]] = None, k: int = 4,
                engine: str = "serial", streaming: bool = True,
-               optimize: bool = True, queue_depth: Optional[int] = None,
+               optimize: bool = True, scheduler: str = "auto",
+               speculate: bool = False,
+               queue_depth: Optional[int] = None,
                max_size: int = 7, seed: int = 0) -> str:
         """Submit a job; returns its ``job_id`` without waiting."""
         request = JobRequest(
             pipeline=pipeline, files=dict(files or {}), env=dict(env or {}),
             k=k, engine=engine, streaming=streaming, optimize=optimize,
+            scheduler=scheduler, speculate=speculate,
             queue_depth=queue_depth, max_size=max_size, seed=seed,
             client_id=self.client_id)
         return self.submit_request(request)

@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional
 
 from ..parallel.executor import RunStats, run_stats_from_dict
 from ..parallel.runner import PROCESSES, SERIAL, THREADS
+from ..parallel.scheduler import AUTO, STATIC, STEALING
 from ..shell import CommandError, ParseError, validate_pipeline_text
 
 #: job lifecycle states
@@ -31,6 +32,9 @@ JOB_DONE = "done"
 JOB_FAILED = "failed"
 
 ENGINES = (SERIAL, THREADS, PROCESSES)
+
+#: chunk schedulers a job may request (``auto``: cost model decides)
+JOB_SCHEDULERS = (AUTO, STATIC, STEALING)
 
 #: ceiling on the total bytes of virtual files in one request — the
 #: whole request is held in memory while queued
@@ -55,6 +59,8 @@ class JobRequest:
     engine: str = SERIAL
     streaming: bool = True
     optimize: bool = True
+    scheduler: str = AUTO
+    speculate: bool = False
     queue_depth: Optional[int] = None
     max_size: int = 7
     seed: int = 0
@@ -70,6 +76,10 @@ class JobRequest:
         if self.engine not in ENGINES:
             raise ValidationError(
                 f"unknown engine {self.engine!r} (expected one of {ENGINES})")
+        if self.scheduler not in JOB_SCHEDULERS:
+            raise ValidationError(
+                f"unknown scheduler {self.scheduler!r} "
+                f"(expected one of {JOB_SCHEDULERS})")
         if not isinstance(self.k, int) or not 1 <= self.k <= MAX_JOB_K:
             raise ValidationError(f"k must be in 1..{MAX_JOB_K}, got {self.k}")
         if self.queue_depth is not None and (
@@ -105,7 +115,8 @@ class JobRequest:
         return {
             "pipeline": self.pipeline, "files": self.files, "env": self.env,
             "k": self.k, "engine": self.engine, "streaming": self.streaming,
-            "optimize": self.optimize, "queue_depth": self.queue_depth,
+            "optimize": self.optimize, "scheduler": self.scheduler,
+            "speculate": self.speculate, "queue_depth": self.queue_depth,
             "max_size": self.max_size, "seed": self.seed,
             "client_id": self.client_id,
         }
@@ -118,7 +129,8 @@ class JobRequest:
             raise ValidationError("request is missing 'pipeline'")
         unknown = set(data) - {
             "pipeline", "files", "env", "k", "engine", "streaming",
-            "optimize", "queue_depth", "max_size", "seed", "client_id"}
+            "optimize", "scheduler", "speculate", "queue_depth",
+            "max_size", "seed", "client_id"}
         if unknown:
             raise ValidationError(f"unknown request fields: {sorted(unknown)}")
         for label in ("files", "env"):
@@ -133,6 +145,8 @@ class JobRequest:
             engine=data.get("engine", SERIAL),
             streaming=bool(data.get("streaming", True)),
             optimize=bool(data.get("optimize", True)),
+            scheduler=data.get("scheduler", AUTO),
+            speculate=bool(data.get("speculate", False)),
             queue_depth=data.get("queue_depth"),
             max_size=data.get("max_size", 7),
             seed=data.get("seed", 0),

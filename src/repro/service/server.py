@@ -108,6 +108,10 @@ class ReproService:
         self._jobs_lock = threading.Lock()
         self._counts = {JOB_DONE: 0, JOB_FAILED: 0}
         self._optimizer = {"jobs_optimized": 0, "rewrites_applied": 0}
+        #: chunk-scheduler behavior aggregated across finished jobs
+        self._runtime = {"jobs_stealing": 0, "tasks": 0, "steals": 0,
+                         "retries": 0, "failures": 0, "speculations": 0,
+                         "speculation_wins": 0}
         self._stage_totals: Dict[str, Dict[str, float]] = {}
         self._started_at = time.time()
         self._stopped = False
@@ -150,7 +154,8 @@ class ReproService:
                 pp = ParallelPipeline(
                     plan, k=request.k, engine=request.engine, runner=runner,
                     streaming=request.streaming,
-                    queue_depth=request.queue_depth)
+                    queue_depth=request.queue_depth,
+                    speculate=request.speculate)
                 result.output = pp.run()
             finally:
                 self.runner_pool.release(runner)
@@ -178,6 +183,13 @@ class ReproService:
             if result.stats.rewrites:
                 self._optimizer["jobs_optimized"] += 1
                 self._optimizer["rewrites_applied"] += result.stats.rewrites
+            sched = result.stats.scheduler
+            if sched is not None:
+                if sched.name == "stealing":
+                    self._runtime["jobs_stealing"] += 1
+                for counter in ("tasks", "steals", "retries", "failures",
+                                "speculations", "speculation_wins"):
+                    self._runtime[counter] += getattr(sched, counter)
             for stage in result.stats.stages:
                 agg = self._stage_totals.setdefault(
                     stage.display, {"runs": 0, "bytes_in": 0.0,
@@ -204,6 +216,7 @@ class ReproService:
         with self._jobs_lock:
             done, failed = self._counts[JOB_DONE], self._counts[JOB_FAILED]
             optimizer = dict(self._optimizer)
+            runtime = dict(self._runtime)
             per_stage = [
                 {"display": display,
                  "runs": int(agg["runs"]),
@@ -222,6 +235,7 @@ class ReproService:
             "scheduler": sched,
             "plan_cache": self.plan_cache.stats(),
             "optimizer": optimizer,
+            "runtime": runtime,
             "synthesis_memo": synthesis_memo_stats(),
             "runner_pool": {"created": self.runner_pool.created,
                             "reused": self.runner_pool.reused,
@@ -246,6 +260,14 @@ class ReproService:
             ("repro_plan_cache_entries", s["plan_cache"]["entries"]),
             ("repro_jobs_optimized", s["optimizer"]["jobs_optimized"]),
             ("repro_rewrites_applied", s["optimizer"]["rewrites_applied"]),
+            ("repro_runtime_jobs_stealing", s["runtime"]["jobs_stealing"]),
+            ("repro_runtime_tasks", s["runtime"]["tasks"]),
+            ("repro_runtime_steals", s["runtime"]["steals"]),
+            ("repro_runtime_retries", s["runtime"]["retries"]),
+            ("repro_runtime_failures", s["runtime"]["failures"]),
+            ("repro_runtime_speculations", s["runtime"]["speculations"]),
+            ("repro_runtime_speculation_wins",
+             s["runtime"]["speculation_wins"]),
             ("repro_synthesis_memo_hits", s["synthesis_memo"]["hits"]),
             ("repro_synthesis_memo_misses", s["synthesis_memo"]["misses"]),
             ("repro_runners_created", s["runner_pool"]["created"]),

@@ -149,6 +149,32 @@ def dictionary_file(seed: int = 0) -> str:
     return "".join(w + "\n" for w in words)
 
 
+def skewed_lines(n_lines: int, seed: int = 0,
+                 heavy_bytes_fraction: float = 0.25,
+                 long_line_len: int = 199) -> str:
+    """Cost-per-byte skewed input for the chunk-scheduler benchmarks.
+
+    The stream opens with a contiguous *heavy region* of ``n_lines``
+    two-byte lines and continues with long lines until the heavy region
+    holds ``heavy_bytes_fraction`` of the total bytes.  A byte-balanced
+    ``k``-way split therefore hands one worker ~``n_lines`` lines while
+    the others get ~100x fewer, so any per-line or ``n log n`` stage
+    (``sort``, ``uniq -c``, ``awk``) costs that worker an order of
+    magnitude more than its peers — the skew the static assignment
+    cannot absorb and work stealing can.
+    """
+    rng = random.Random(seed)
+    heavy = "".join(f"{rng.randint(0, 9)}\n" for _ in range(n_lines))
+    light_bytes = int(len(heavy) * (1.0 - heavy_bytes_fraction)
+                      / max(heavy_bytes_fraction, 1e-9))
+    n_long = max(1, light_bytes // (long_line_len + 1))
+    alpha = string.ascii_lowercase
+    light = "".join(
+        "".join(rng.choice(alpha) for _ in range(3)) * (long_line_len // 3)
+        + "\n" for _ in range(n_long))
+    return heavy + light
+
+
 def scripts_listing(n_lines: int, seed: int = 0) -> str:
     """``file`` style listing fodder for shortest-scripts (one path per line)."""
     rng = random.Random(seed)

@@ -86,13 +86,19 @@ def run_parallel(script: BenchmarkScript, scale: int, k: int,
                  cache: Optional[SynthCache] = None,
                  config: Optional[SynthesisConfig] = None,
                  context: Optional[ExecContext] = None,
-                 streaming: bool = True) -> ScriptRun:
+                 streaming: bool = True,
+                 scheduler: str = "static",
+                 speculate: bool = False,
+                 fault_policy=None) -> ScriptRun:
     """Synthesize, compile, and execute the script with k-way parallelism.
 
     Synthesis time is *not* included in the reported seconds (the paper
     reports synthesis separately from pipeline execution).  ``streaming``
     selects the chunk-pipelined data plane (default) or the barrier
     plane; per-pipeline :class:`RunStats` land in :attr:`ScriptRun.stats`.
+    ``scheduler``/``speculate`` select the chunk scheduler and straggler
+    speculation; a :class:`~repro.parallel.FaultPolicy` injects
+    deterministic chunk-task faults across the whole script run.
     """
     context = context or build_context(script, scale, seed)
     cache = cache if cache is not None else {}
@@ -104,7 +110,8 @@ def run_parallel(script: BenchmarkScript, scale: int, k: int,
         pipeline = Pipeline.from_string(sp.text, env=script.env,
                                         context=context)
         synthesize_pipeline(pipeline, config=config, cache=cache)
-        plan = compile_pipeline(pipeline, cache, optimize=optimize)
+        plan = compile_pipeline(pipeline, cache, optimize=optimize,
+                                scheduler=scheduler)
         plans.append(plan)
         # one worker pool per pipeline: process workers snapshot the
         # virtual filesystem at startup, and chained pipelines add
@@ -112,7 +119,8 @@ def run_parallel(script: BenchmarkScript, scale: int, k: int,
         runner = StageRunner(engine=engine, max_workers=k, context=context)
         try:
             pp = ParallelPipeline(plan, k=k, engine=engine, runner=runner,
-                                  streaming=streaming)
+                                  streaming=streaming, speculate=speculate,
+                                  fault_policy=fault_policy)
             start = time.perf_counter()
             out = pp.run()
             elapsed += time.perf_counter() - start

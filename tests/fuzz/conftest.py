@@ -1,0 +1,45 @@
+"""Fixtures for the randomized differential fuzz harness."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+#: tier-1 corpus: small and fixed-seed, so CI is deterministic
+DEFAULT_SEED = 20260729
+DEFAULT_ITERATIONS = 24
+
+#: where failing cases are dumped for the CI artifact upload
+FAILURE_DIR = pathlib.Path(__file__).resolve().parents[2] / "fuzz-failures"
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed(request) -> int:
+    seed = request.config.getoption("--fuzz-seed")
+    return DEFAULT_SEED if seed is None else seed
+
+
+@pytest.fixture(scope="session")
+def fuzz_iterations(request) -> int:
+    n = request.config.getoption("--fuzz-iterations")
+    return DEFAULT_ITERATIONS if n is None else n
+
+
+@pytest.fixture(scope="session")
+def record_failure():
+    """Write a failing case (seed, pipeline, input) for CI to upload."""
+
+    def _record(seed: int, case: int, pipeline: str, data: str,
+                backend: str, expected: str, actual: str) -> pathlib.Path:
+        FAILURE_DIR.mkdir(exist_ok=True)
+        path = FAILURE_DIR / f"case-{seed}-{case}-{backend}.json"
+        path.write_text(json.dumps({
+            "seed": seed, "case": case, "backend": backend,
+            "pipeline": pipeline, "input": data,
+            "expected": expected, "actual": actual,
+        }, indent=1, ensure_ascii=False))
+        return path
+
+    return _record

@@ -1,0 +1,109 @@
+"""Seeded random pipeline + input generation over the sim-command grammar.
+
+The stage pool is a *fixed* set of concrete command spellings: the
+corpus still explores random compositions and inputs, but the number of
+unique commands stays small, so combiner synthesis (memoized per
+command) is paid a bounded number of times across the whole fuzz run.
+
+Inputs deliberately include the shapes chunk-boundary bugs hide in:
+empty streams, streams with no trailing newline, single huge lines,
+blank lines, binary-ish bytes, and high-duplicate streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.shell import validate_pipeline_text
+
+#: fixed grammar: every stage is a concrete, synthesis-supported command
+STAGES: Tuple[str, ...] = (
+    "sort",
+    "sort -r",
+    "sort -n",
+    "sort -u",
+    "uniq",
+    "uniq -c",
+    "grep a",
+    "grep -c a",
+    "grep -v the",
+    "tr A-Z a-z",
+    "tr a-z A-Z",
+    "tr -d x",
+    "tr -s ' '",
+    "head -n 5",
+    "head -n 1",
+    "tail -n 3",
+    "sed 's/a/o/'",
+    "sed 2q",
+    "wc -l",
+    "wc -w",
+    "wc -c",
+    "cut -d ' ' -f 1",
+    "cut -c 1-4",
+    "awk '{print $1}'",
+    "rev",
+    "nl",
+    "cat",
+    "tac",
+)
+
+_WORDS = ("the", "a", "ab", "cat", "dog", "axe", "Tree", "STONE", "x-ray",
+          "über", "lamp", "river9", "moss")
+
+
+def random_input(rng: random.Random) -> str:
+    """One input stream, biased toward chunk-boundary edge shapes."""
+    shape = rng.randrange(8)
+    if shape == 0:
+        return ""                                   # empty stream
+    if shape == 1:
+        return "\n" * rng.randint(1, 5)             # only newlines
+    if shape == 2:
+        # one huge line, optionally unterminated (never splittable)
+        line = " ".join(rng.choice(_WORDS) for _ in range(rng.randint(
+            200, 600)))
+        return line + ("\n" if rng.random() < 0.5 else "")
+    if shape == 3:
+        # binary-ish: control chars, NUL, high unicode mixed into text
+        chars = list("abc \t\x00\x01\x7fÿ☃")
+        return "".join(rng.choice(chars)
+                       for _ in range(rng.randint(1, 400)))
+    lines = [" ".join(rng.choice(_WORDS)
+                      for _ in range(rng.randint(0, 6)))
+             for _ in range(rng.randint(1, 120))]
+    if shape == 4:
+        lines = [rng.choice(lines)] * len(lines)    # high duplication
+    if shape == 5:
+        lines = [str(rng.randint(-50, 50)) for _ in lines]  # numeric
+    text = "".join(line + "\n" for line in lines)
+    if shape == 7 and text:
+        text = text[:-1]                            # no trailing newline
+    return text
+
+
+def random_pipeline(rng: random.Random, max_stages: int = 4) -> str:
+    """A random valid pipeline reading ``in.txt``."""
+    for _ in range(50):
+        n = rng.randint(1, max_stages)
+        stages = [rng.choice(STAGES) for _ in range(n)]
+        text = " | ".join(["cat in.txt"] + stages)
+        try:
+            validate_pipeline_text(text)
+        except Exception:
+            continue
+        return text
+    raise AssertionError("could not generate a valid pipeline in 50 tries")
+
+
+def corpus(seed: int, size: int,
+           inputs_per_pipeline: int = 2) -> List[Tuple[str, List[str]]]:
+    """The deterministic fuzz corpus for one seed."""
+    rng = random.Random(seed)
+    cases: List[Tuple[str, List[str]]] = []
+    for _ in range(size):
+        pipeline = random_pipeline(rng)
+        inputs = [random_input(rng) for _ in range(inputs_per_pipeline)]
+        cases.append((pipeline, inputs))
+    return cases

@@ -1,0 +1,147 @@
+"""Pinned regressions for chunk-boundary bugs surfaced by the fuzzer.
+
+Each test here is the minimized form of a differential failure found by
+``tests/fuzz`` (randomized pipelines over edge-shaped inputs).  Keep
+them pinned even though the fuzzer covers the space probabilistically:
+these exact shapes must never regress silently.
+"""
+
+import pytest
+
+from repro import parallelize
+from repro.core.dsl.semantics import EvalEnv
+from repro.parallel import STATIC, STEALING
+from repro.parallel.combining import KWayCombiner
+from repro.shell import Command
+
+
+BACKENDS = [
+    ("barrier-static", False, "serial", STATIC),
+    ("barrier-stealing", False, "serial", STEALING),
+    ("streaming-serial", True, "serial", STATIC),
+    ("streaming-threads-static", True, "threads", STATIC),
+    ("streaming-threads-stealing", True, "threads", STEALING),
+]
+
+
+def _assert_all_backends(text, data, tiny_config, k=4):
+    pp = parallelize(text, k=k, files={"in.txt": data}, rewrite=False,
+                     config=tiny_config)
+    expected = pp.plan.pipeline.run()
+    for name, streaming, engine, sched in BACKENDS:
+        pp.streaming, pp.engine, pp.scheduler = streaming, engine, sched
+        assert pp.run() == expected, name
+    return pp
+
+
+# -- fuzz case 14 (seed 20260729): swapped concat joined forward ------------
+
+
+def test_tac_swapped_concat_kway(tiny_config):
+    """``tac`` synthesizes ``(concat b a)``; the k-way fast path must
+    join substreams right-to-left, not forward."""
+    data = "".join(f"line {i}\n" for i in range(64))
+    _assert_all_backends("cat in.txt | tac", data, tiny_config)
+
+
+def test_swapped_concat_is_not_concat(tiny_config):
+    """A swapped concat must not qualify for combiner elimination —
+    eliminating it would hand substreams downstream in input order."""
+    from repro.core.synthesis import synthesize
+
+    result = synthesize(Command.from_string("tac"), tiny_config)
+    assert result.ok
+    kway = KWayCombiner(result.combiner)
+    assert not kway.is_concat()
+    env = EvalEnv()
+    assert kway.combine(["a\n", "b\n", "c\n"], env) == "c\nb\na\n"
+
+
+def test_tac_not_eliminated_midpipeline(tiny_config):
+    data = "".join(f"{i % 5} word\n" for i in range(80))
+    pp = _assert_all_backends("cat in.txt | tac | sort", data, tiny_config)
+    for stage in pp.plan.stages:
+        if stage.command.display().startswith("tac"):
+            assert not stage.eliminated
+
+
+# -- fuzz case 91 (seed 20260729): empty chunk output crashed the fold ------
+
+
+def test_empty_chunk_output_through_stitch_combiner(tiny_config):
+    """A chunk whose ``grep`` output is empty used to crash ``uniq``'s
+    stitch combiner ("no member combiner applicable to ('', '')")."""
+    # numeric lines: 'grep a' matches nothing anywhere
+    data = "".join(f"{i}\n" for i in range(40))
+    _assert_all_backends("cat in.txt | grep a | uniq", data, tiny_config)
+
+
+def test_empty_operands_are_combine_identities(tiny_config):
+    from repro.core.synthesis import synthesize
+
+    result = synthesize(Command.from_string("uniq"), tiny_config)
+    assert result.ok
+    kway = KWayCombiner(result.combiner)
+    env = EvalEnv(run_command=Command.from_string("uniq").run)
+    assert kway.combine(["", "", ""], env) == ""
+    assert kway.combine(["a\n", "", "b\n"], env) == "a\nb\n"
+    assert kway.combine(["", "b\n"], env) == "b\n"
+
+
+def test_partially_empty_chunks(tiny_config):
+    """Matches concentrated in one chunk: every other chunk's grep
+    output is empty and must act as a combine identity."""
+    data = "".join("a match\n" if i < 8 else f"{i}\n" for i in range(200))
+    _assert_all_backends("cat in.txt | grep a | uniq -c", data, tiny_config)
+
+
+# -- fuzz case 250 (seed 20260729): blank-line groups did not stitch --------
+
+
+def test_uniq_blank_line_chunks(tiny_config):
+    """``uniq`` over a blank-line-only stream: every chunk reduces to a
+    single "\\n", and the stitch combiner must merge those boundary
+    groups instead of concatenating them."""
+    _assert_all_backends("cat in.txt | uniq", "\n\n\n\n", tiny_config, k=3)
+
+
+def test_stitch_merges_blank_boundary(tiny_config):
+    from repro.core.synthesis import synthesize
+
+    uniq = Command.from_string("uniq")
+    result = synthesize(uniq, tiny_config)
+    assert result.ok
+    kway = KWayCombiner(result.combiner)
+    env = EvalEnv(run_command=uniq.run)
+    assert kway.combine(["\n", "\n"], env) == "\n"
+    assert kway.combine(["a\n\n", "\n"], env) == "a\n\n"
+
+
+# -- boundary shapes: empty input, no trailing newline ----------------------
+
+
+@pytest.mark.parametrize("text", [
+    "cat in.txt | sort",
+    "cat in.txt | uniq",
+    "cat in.txt | wc -l",
+    "cat in.txt | grep a | uniq",
+])
+def test_empty_input_all_backends(text, tiny_config):
+    _assert_all_backends(text, "", tiny_config)
+
+
+@pytest.mark.parametrize("text", [
+    "cat in.txt | sort",
+    "cat in.txt | tac",
+    "cat in.txt | uniq -c",
+    "cat in.txt | tr a-z A-Z | sort",
+])
+def test_no_trailing_newline_all_backends(text, tiny_config):
+    data = "b second\na first\nc third\nb second"  # unterminated tail
+    _assert_all_backends(text, data, tiny_config)
+
+
+def test_single_unsplittable_line(tiny_config):
+    data = "x" * 5000  # one huge line, no newline at all
+    _assert_all_backends("cat in.txt | wc -c", data, tiny_config)
+    _assert_all_backends("cat in.txt | tr x y", data, tiny_config)

@@ -1,0 +1,64 @@
+"""Service surface of the fault-tolerant runtime: request fields,
+plan-cache identity, and the aggregated scheduler counters."""
+
+import pytest
+
+from repro.service.cache import plan_cache_key
+from repro.service.client import ServiceClient
+from repro.service.protocol import JobRequest, ValidationError
+
+
+def _request(**kwargs):
+    return JobRequest(pipeline="cat in.txt | sort",
+                      files={"in.txt": "b\na\nc\n" * 200}, **kwargs)
+
+
+def test_scheduler_field_validated():
+    _request(scheduler="stealing").validate()
+    _request(scheduler="auto").validate()
+    with pytest.raises(ValidationError):
+        _request(scheduler="fifo").validate()
+
+
+def test_request_roundtrip_carries_scheduler_and_speculate():
+    req = _request(scheduler="stealing", speculate=True)
+    again = JobRequest.from_dict(req.to_dict())
+    assert again.scheduler == "stealing"
+    assert again.speculate is True
+
+
+def test_plan_cache_key_separates_schedulers():
+    static = plan_cache_key(_request(scheduler="static"))
+    stealing = plan_cache_key(_request(scheduler="stealing"))
+    auto = plan_cache_key(_request())
+    assert len({static, stealing, auto}) == 3
+
+
+def test_job_result_carries_scheduler_stats(service):
+    client = ServiceClient(service.url, client_id="t1")
+    job = client.submit("cat in.txt | sort", files={"in.txt": "b\na\n" * 500},
+                        k=4, scheduler="stealing")
+    result = client.wait(job, timeout=60)
+    assert result.status == "done"
+    assert result.stats is not None
+    assert result.stats.scheduler is not None
+    assert result.stats.scheduler.name == "stealing"
+    assert result.stats.scheduler.tasks >= 1
+
+
+def test_status_and_metrics_expose_runtime_counters(service):
+    client = ServiceClient(service.url, client_id="t1")
+    job = client.submit("cat in.txt | sort",
+                        files={"in.txt": "b\na\n" * 500},
+                        k=4, scheduler="stealing")
+    assert client.wait(job, timeout=60).status == "done"
+    status = client.status()
+    runtime = status["runtime"]
+    assert runtime["jobs_stealing"] >= 1
+    assert runtime["tasks"] >= 1
+    for key in ("steals", "retries", "failures", "speculations",
+                "speculation_wins"):
+        assert key in runtime
+    metrics = service.metrics_text()
+    assert "repro_runtime_jobs_stealing" in metrics
+    assert "repro_runtime_retries" in metrics

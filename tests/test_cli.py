@@ -219,3 +219,36 @@ def test_status_subcommand(daemon, capsys):
     payload = json.loads(captured.out)
     assert payload["jobs"]["submitted"] == 0
     assert payload["plan_cache"]["entries"] == 0
+
+
+def test_run_scheduler_and_speculate_flags(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\nc\na\n" * 50)
+    rc = main(["run", "cat in.txt | sort", "--file", str(f),
+               "--scheduler", "stealing", "--speculate",
+               "--stats-json", "-"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert captured.out == "".join(
+        sorted(("b\na\nc\na\n" * 50).splitlines(keepends=True)))
+    stats = json.loads(captured.err)
+    assert stats["scheduler"]["name"] == "stealing"
+    assert stats["scheduler"]["speculate"] is True
+
+
+def test_explain_reports_scheduler(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("b\na\n" * 20)
+    rc = main(["explain", "cat in.txt | sort", "--file", str(f)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "scheduler=" in captured.out
+
+
+def test_run_rejects_unknown_scheduler(tmp_path, capsys):
+    f = tmp_path / "in.txt"
+    f.write_text("a\n")
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "cat in.txt | sort", "--file", str(f),
+              "--scheduler", "fifo"])
+    assert exc.value.code == 2
