@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Diff two BENCH_*.json files: throughput and tail-latency deltas.
+
+::
+
+    python scripts/bench_diff.py BENCH_old.json BENCH_new.json
+    python scripts/bench_diff.py --latest bench-out/
+
+``--latest DIR`` picks the two most recent ``BENCH_*.json`` in DIR (by
+runid, which sorts chronologically).  Exits 0 always — the diff is a
+report, not a gate; CI prints it next to the uploaded artifact.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (label, group, key, unit, higher_is_better)
+ROWS = (
+    ("throughput", "latency", "jobs_per_second", "jobs/s", True),
+    ("p50 latency", "latency", "p50_seconds", "s", False),
+    ("p99 latency", "latency", "p99_seconds", "s", False),
+    ("cold throughput", "cache", "cold_jobs_per_second", "jobs/s", True),
+    ("warm throughput", "cache", "warm_jobs_per_second", "jobs/s", True),
+    ("warm/cold ratio", "cache", "warm_over_cold", "x", True),
+    ("plan-cache hit rate", "cache", "hit_rate", "", True),
+    ("persisted warm hits", "cache", "persisted_warm_hits", "", True),
+    ("steals", "scheduler", "steals", "", None),
+    ("retries", "scheduler", "retries", "", None),
+    ("rewrites applied", "optimizer", "rewrites_applied", "", None),
+)
+
+
+def load(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def pick_latest(directory: Path):
+    files = sorted(directory.glob("BENCH_*.json"))
+    if len(files) < 2:
+        return None
+    return files[-2], files[-1]
+
+
+def fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.3f}"
+
+
+def diff_table(old: dict, new: dict) -> str:
+    lines = [
+        f"old: {old['run']['runid']}  new: {new['run']['runid']}",
+        f"{'metric':<22} {'old':>10} {'new':>10} {'delta':>10}  verdict",
+        "-" * 64,
+    ]
+    for label, group, key, unit, better in ROWS:
+        a = old.get(group, {}).get(key)
+        b = new.get(group, {}).get(key)
+        if a is None or b is None:
+            continue
+        delta = b - a
+        pct = f"{delta / a * +100:+.1f}%" if a else f"{delta:+.3f}"
+        verdict = ""
+        if better is not None and a:
+            changed = abs(delta) / abs(a) > 0.05
+            if changed:
+                improved = (delta > 0) == better
+                verdict = "improved" if improved else "REGRESSED"
+        lines.append(f"{label:<22} {fmt(a):>10} {fmt(b):>10} {pct:>10}"
+                     f"  {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="*", help="OLD.json NEW.json")
+    ap.add_argument("--latest", metavar="DIR",
+                    help="diff the two most recent BENCH_*.json in DIR")
+    args = ap.parse_args(argv)
+    if args.latest:
+        pair = pick_latest(Path(args.latest))
+        if pair is None:
+            print("fewer than two BENCH_*.json files; nothing to diff")
+            return 0
+        old_path, new_path = pair
+    elif len(args.files) == 2:
+        old_path, new_path = map(Path, args.files)
+    else:
+        ap.error("pass OLD.json NEW.json or --latest DIR")
+    print(diff_table(load(old_path), load(new_path)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Run the perf-trajectory benchmark suite (CI entry point).
+
+Equivalent to ``repro bench``; run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_suite.py --smoke --out bench-out
+
+Writes ``BENCH_<runid>.json`` (schema: ``docs/bench_schema.json``) and
+exits non-zero if any stage failed or the document does not validate.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.evaluation.benchsuite import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.evaluation.benchsuite import StageRecorder  # noqa: E402
 from repro.service.client import ServiceClient  # noqa: E402
 from repro.shell import Pipeline  # noqa: E402
 from repro.unixsim import ExecContext  # noqa: E402
@@ -32,7 +33,10 @@ PIPELINES = [
 ]
 FILES = {"input.txt": "delta\nalpha\nbravo\nalpha\ncharlie\nbravo\n" * 40}
 ENV = {"IN": "input.txt"}
-N_JOBS = 8
+# job count is overridable so the bench suite can tune the soak; the
+# plan-cache assertions below assume a multiple of len(PIPELINES)
+N_JOBS = max(len(PIPELINES),
+             int(os.environ.get("REPRO_SMOKE_JOBS", "8")))
 N_TENANTS = 4
 
 
@@ -112,6 +116,13 @@ def main() -> int:
         proc.wait(timeout=30)
         assert proc.returncode == 0, f"daemon exit code {proc.returncode}"
         print("daemon shut down cleanly")
+
+        # report into the bench suite's BENCH_*.json when invoked by it
+        recorder = StageRecorder.from_env()
+        if recorder is not None:
+            recorder.record("service-smoke", time.time() - start, ok=True,
+                            jobs=N_JOBS, tenants=N_TENANTS,
+                            plan_cache_hits=hits, plan_cache_misses=misses)
         return 0
     finally:
         if proc.poll() is None:

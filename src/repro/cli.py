@@ -28,6 +28,10 @@ Subcommands:
 * ``submit PIPELINE`` — send one job to a running daemon and print its
   output (``--no-wait`` to only print the job id).
 * ``status`` — print a running daemon's status counters as JSON.
+* ``bench`` — run the perf-trajectory benchmark suite (tables,
+  optimizer/scheduler/streaming scenarios, fuzz corpus, service soak)
+  and write machine-readable ``BENCH_<runid>.json``
+  (``--smoke`` keeps the whole suite under two minutes).
 
 Files referenced by the pipeline are loaded from the real filesystem
 into the sandboxed virtual filesystem with ``--file PATH`` (repeatable).
@@ -192,23 +196,62 @@ def _default_server() -> str:
     return os.environ.get("REPRO_SERVER", "http://127.0.0.1:7070")
 
 
+def _parse_quotas(pairs: Optional[List[str]]) -> Dict[str, int]:
+    quotas: Dict[str, int] = {}
+    for kv in pairs or []:
+        name, sep, value = kv.partition("=")
+        try:
+            quotas[name] = int(value)
+        except ValueError:
+            sep = ""
+        if not sep or not name or quotas.get(name, 0) < 1:
+            print(f"error: --quota expects TENANT=N (N >= 1), got {kv!r}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    return quotas
+
+
 def cmd_serve(args) -> int:
     from .service.server import ServiceConfig, serve_forever
 
     config = ServiceConfig(
         host=args.host, port=args.port, concurrency=args.concurrency,
-        max_queued=args.max_queued, plan_cache_capacity=args.plan_cache_size,
-        store_path=args.store,
+        max_queued=args.max_queued,
+        max_queued_per_client=args.per_client_queue,
+        quotas=_parse_quotas(args.quota),
+        plan_cache_capacity=args.plan_cache_size,
+        store_path=args.store, plan_cache_path=args.plan_cache,
         max_request_bytes=args.max_request_mb * 1024 * 1024)
 
     def announce(service) -> None:
         print(f"repro service listening on {service.url} "
               f"(concurrency={args.concurrency}, "
               f"plan-cache={args.plan_cache_size}"
-              f"{', store=' + args.store if args.store else ''})",
+              f"{', store=' + args.store if args.store else ''}"
+              f"{', snapshot=' + args.plan_cache if args.plan_cache else ''})",
               flush=True)
 
     return serve_forever(config, ready=announce)
+
+
+def cmd_bench(args) -> int:
+    from .evaluation.benchsuite import main as bench_main
+
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    argv += ["--out", args.out, "-k", str(args.k),
+             "--clients", str(args.clients),
+             "--concurrency", str(args.concurrency)]
+    if args.runid:
+        argv += ["--runid", args.runid]
+    if args.stages:
+        argv += ["--stages", args.stages]
+    if args.scale is not None:
+        argv += ["--scale", str(args.scale)]
+    if args.fuzz_iterations is not None:
+        argv += ["--fuzz-iterations", str(args.fuzz_iterations)]
+    return bench_main(argv)
 
 
 def cmd_submit(args) -> int:
@@ -328,13 +371,46 @@ def build_parser() -> argparse.ArgumentParser:
                     help="jobs executing at once")
     sv.add_argument("--max-queued", type=int, default=256,
                     help="admission bound on queued jobs")
+    sv.add_argument("--per-client-queue", type=int, default=None,
+                    help="default per-tenant admission bound "
+                         "(unbounded if omitted)")
+    sv.add_argument("--quota", action="append", metavar="TENANT=N",
+                    help="per-tenant admission quota overriding "
+                         "--per-client-queue (repeatable); over-quota "
+                         "submissions get HTTP 429")
     sv.add_argument("--plan-cache-size", type=int, default=128,
                     help="compiled plans kept before LRU eviction")
+    sv.add_argument("--plan-cache", metavar="PATH",
+                    help="plan-cache snapshot surviving restarts: "
+                         "previously compiled pipelines come back as "
+                         "warm hits (no re-synthesis)")
     sv.add_argument("--store",
                     help="persistent combiner store for warm starts")
     sv.add_argument("--max-request-mb", type=int, default=64,
                     help="largest request (pipeline + files) accepted")
     sv.set_defaults(func=cmd_serve)
+
+    bn = sub.add_parser("bench",
+                        help="run the perf-trajectory benchmark suite, "
+                             "writing BENCH_<runid>.json")
+    bn.add_argument("--smoke", action="store_true",
+                    help="small presets: the whole suite in under two "
+                         "minutes")
+    bn.add_argument("--out", default=".", metavar="DIR",
+                    help="directory for BENCH_<runid>.json (default .)")
+    bn.add_argument("--runid", help="override the timestamp+sha run id")
+    bn.add_argument("--stages", metavar="A,B,...",
+                    help="comma-separated stage subset (default: all)")
+    bn.add_argument("-k", type=int, default=4, help="parallelism degree")
+    bn.add_argument("--clients", type=int, default=4,
+                    help="concurrent loadgen tenants in the soak stage")
+    bn.add_argument("--concurrency", type=int, default=4,
+                    help="daemon worker slots in the soak stage")
+    bn.add_argument("--scale", type=int, default=None,
+                    help="table-stage input scale override")
+    bn.add_argument("--fuzz-iterations", type=int, default=None,
+                    help="fixed-seed fuzz corpus size override")
+    bn.set_defaults(func=cmd_bench)
 
     sb = sub.add_parser("submit", help="submit one job to a running daemon")
     sb.add_argument("pipeline")

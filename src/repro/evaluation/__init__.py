@@ -1,6 +1,14 @@
 """Evaluation harness regenerating the paper's tables."""
 
 from . import paper_data
+from .benchsuite import (
+    ALL_STAGES,
+    BenchOptions,
+    StageRecorder,
+    StageResult,
+    run_suite,
+    validate_schema,
+)
 from .performance import (
     OptimizerMeasurement,
     ScriptPerformance,
@@ -35,6 +43,8 @@ from .synthesis_sweep import (
 )
 
 __all__ = [
+    "ALL_STAGES", "BenchOptions", "StageRecorder", "StageResult",
+    "run_suite", "validate_schema",
     "FaultMeasurement", "OptimizerMeasurement", "ScriptPerformance",
     "SkewMeasurement", "StageAccounting", "SweepSummary", "account_all",
     "account_script", "classify_combiner", "fault_table", "measure_all",

@@ -32,12 +32,21 @@ from .protocol import (
     JobResult,
     ValidationError,
 )
-from .scheduler import JobScheduler, SchedulerSaturated
+from .scheduler import (
+    HIGH,
+    LOW,
+    NORMAL,
+    PRIORITIES,
+    JobScheduler,
+    SchedulerDraining,
+    SchedulerSaturated,
+)
 from .server import ReproService, ServiceConfig
 
 __all__ = [
-    "JOB_DONE", "JOB_FAILED", "JOB_QUEUED", "JOB_RUNNING", "JobRequest",
-    "JobResult", "JobScheduler", "PlanCache", "ReproService",
+    "HIGH", "JOB_DONE", "JOB_FAILED", "JOB_QUEUED", "JOB_RUNNING",
+    "JobRequest", "JobResult", "JobScheduler", "LOW", "NORMAL",
+    "PRIORITIES", "PlanCache", "ReproService", "SchedulerDraining",
     "SchedulerSaturated", "ServiceClient", "ServiceConfig",
     "ServiceUnavailable", "ValidationError", "plan_cache_key",
 ]

@@ -19,18 +19,31 @@ arriving cold trigger one synthesis, not ten, and distinct pipelines
 compile concurrently.  A cached plan is safe to execute from many jobs
 at once — plans and their stages are read-only at run time, and each
 job wraps the plan in its own :class:`ParallelPipeline`.
+
+Persistence: with a ``path`` the cache keeps a JSON snapshot, keyed by
+a content digest of the full cache key, of everything needed to
+*rehydrate* a plan without re-running synthesis or cost-model plan
+selection — the chosen (post-rewrite) pipeline text, the request's
+files/env, and the per-stage synthesis results serialized through the
+combiner-store idiom (:func:`result_to_dict`).  A daemon restart loads
+the snapshot and serves previously-seen pipelines as *warm* hits: a
+cheap parse + ``compile_pipeline`` from stored synthesis results, with
+zero synthesis executions and no candidate selection.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..parallel.runner import fs_digest
 
-from ..core.synthesis.store import CombinerStore
+from ..core.synthesis.store import CombinerStore, result_from_dict, result_to_dict
 from ..core.synthesis.synthesizer import SynthesisConfig
 from ..parallel.planner import PipelinePlan, compile_pipeline, synthesize_pipeline
 from ..shell.pipeline import Pipeline
@@ -40,6 +53,28 @@ from .protocol import JobRequest
 #: compiled plans kept before LRU eviction; plans embed their virtual
 #: filesystem, so this also bounds resident input data
 DEFAULT_PLAN_CAPACITY = 128
+
+#: largest request (pipeline + files bytes) worth snapshotting to disk —
+#: the snapshot embeds the job's virtual filesystem, so huge one-off
+#: datasets would bloat it for little warm-start value
+DEFAULT_MAX_PERSIST_BYTES = 4 * 1024 * 1024
+
+_SNAPSHOT_SCHEMA = 1
+
+#: provenance of a cache lookup, in the order the layers are consulted
+HIT_MEMORY = "memory"
+HIT_DISK = "disk"
+
+
+def key_digest(key: tuple) -> str:
+    """Content digest of a plan-cache key, stable across processes.
+
+    The key tuple contains only strings, ints, bools, and nested tuples
+    of the same (file contents enter via :func:`fs_digest`), so its
+    ``repr`` is deterministic and the digest can name a snapshot entry
+    from one daemon lifetime to the next.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
 def _default_config(request: JobRequest) -> SynthesisConfig:
@@ -81,22 +116,31 @@ def plan_cache_key(request: JobRequest,
 
 
 class PlanCache:
-    """Thread-safe LRU of compiled :class:`PipelinePlan`s."""
+    """Thread-safe LRU of compiled :class:`PipelinePlan`s, optionally
+    backed by an on-disk snapshot that survives daemon restarts."""
 
     def __init__(self, capacity: int = DEFAULT_PLAN_CAPACITY,
                  store: Optional[CombinerStore] = None,
                  config_factory: Callable[[JobRequest], SynthesisConfig]
-                 = _default_config) -> None:
+                 = _default_config,
+                 path: Optional[Union[str, Path]] = None,
+                 max_persist_bytes: int = DEFAULT_MAX_PERSIST_BYTES) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.store = store
         self.config_factory = config_factory
+        self.path = Path(path) if path is not None else None
+        self.max_persist_bytes = max_persist_bytes
         self._plans: "OrderedDict[tuple, PipelinePlan]" = OrderedDict()
+        self._snapshot: Dict[str, dict] = {}
         self._lock = threading.Lock()
         self._inflight: Dict[tuple, threading.Lock] = {}
         self._hits = 0
+        self._disk_hits = 0
         self._misses = 0
+        if self.path is not None and self.path.exists():
+            self.load()
 
     def __len__(self) -> int:
         with self._lock:
@@ -105,9 +149,14 @@ class PlanCache:
     # -- lookup / compile ----------------------------------------------------
 
     def get_or_compile(self,
-                       request: JobRequest) -> Tuple[PipelinePlan, bool]:
-        """Return ``(plan, cache_hit)`` for the request, compiling at most
-        once per key across all concurrent callers."""
+                       request: JobRequest) -> Tuple[PipelinePlan, object]:
+        """Return ``(plan, hit)`` for the request, compiling at most once
+        per key across all concurrent callers.
+
+        ``hit`` is falsy for a cold compile, :data:`HIT_MEMORY` for an
+        in-memory hit, and :data:`HIT_DISK` for a plan rehydrated from
+        the persistent snapshot (warm: no synthesis ran).
+        """
         config = self.config_factory(request)
         key = plan_cache_key(request, config)
         with self._lock:
@@ -115,7 +164,7 @@ class PlanCache:
             if plan is not None:
                 self._hits += 1
                 self._plans.move_to_end(key)
-                return plan, True
+                return plan, HIT_MEMORY
             flight = self._inflight.setdefault(key, threading.Lock())
         with flight:
             with self._lock:
@@ -124,15 +173,30 @@ class PlanCache:
                     # compiled by the flight we waited behind
                     self._hits += 1
                     self._plans.move_to_end(key)
-                    return plan, True
+                    return plan, HIT_MEMORY
+                entry = self._snapshot.get(key_digest(key))
+            hit: object = False
             try:
-                plan = self._compile(request, config)
+                plan = None
+                if entry is not None:
+                    try:
+                        plan = self._rehydrate(entry)
+                        hit = HIT_DISK
+                    except Exception:
+                        plan = None  # stale snapshot: fall back to compile
+                if plan is None:
+                    plan = self._compile(request, config)
                 with self._lock:
-                    self._misses += 1
+                    if hit:
+                        self._disk_hits += 1
+                    else:
+                        self._misses += 1
                     self._plans[key] = plan
                     self._plans.move_to_end(key)
                     while len(self._plans) > self.capacity:
                         self._plans.popitem(last=False)
+                if not hit and self.path is not None:
+                    self._record_snapshot(key, request, plan)
             except BaseException:
                 with self._lock:
                     self._misses += 1
@@ -142,7 +206,7 @@ class PlanCache:
                 # not leave a permanent per-key lock behind
                 with self._lock:
                     self._inflight.pop(key, None)
-        return plan, False
+        return plan, hit
 
     def _compile(self, request: JobRequest,
                  config: SynthesisConfig) -> PipelinePlan:
@@ -162,15 +226,87 @@ class PlanCache:
         return compile_pipeline(pipeline, results, optimize=request.optimize,
                                 scheduler=scheduler)
 
+    # -- persistence ---------------------------------------------------------
+
+    def _record_snapshot(self, key: tuple, request: JobRequest,
+                         plan: PipelinePlan) -> None:
+        """Remember everything a restart needs to rebuild ``plan`` warm.
+
+        The snapshot stores the *chosen* pipeline (post-rewrite render)
+        plus every stage's serialized synthesis result, so rehydration
+        is parse + ``compile_pipeline`` — no synthesis executions, no
+        rewrite search, no cost-model candidate runs.
+        """
+        size = len(request.pipeline) + sum(
+            len(k) + len(v) for k, v in request.files.items())
+        if size > self.max_persist_bytes:
+            return
+        results = []
+        for stage in plan.stages:
+            if stage.synthesis is not None:
+                results.append({"argv": list(stage.command.key()),
+                                "result": result_to_dict(stage.synthesis)})
+        entry = {
+            "pipeline": plan.pipeline.render(),
+            "env": dict(request.env),
+            "files": dict(request.files),
+            "optimized": plan.optimized,
+            "scheduler": plan.scheduler,
+            "rewrites": plan.rewrites,
+            "rewrite_trace": list(plan.rewrite_trace),
+            "results": results,
+        }
+        with self._lock:
+            self._snapshot[key_digest(key)] = entry
+
+    def _rehydrate(self, entry: dict) -> PipelinePlan:
+        context = ExecContext(fs=dict(entry["files"]),
+                              env=dict(entry["env"]))
+        pipeline = Pipeline.from_string(entry["pipeline"],
+                                        env=entry["env"], context=context)
+        results = {tuple(r["argv"]): result_from_dict(r["result"])
+                   for r in entry["results"]}
+        plan = compile_pipeline(pipeline, results,
+                                optimize=entry["optimized"],
+                                scheduler=entry["scheduler"])
+        plan.rewrites = entry["rewrites"]
+        plan.rewrite_trace = list(entry["rewrite_trace"])
+        return plan
+
+    def save(self) -> None:
+        """Write the snapshot atomically (temp file + rename); no-op
+        without a configured ``path``."""
+        if self.path is None:
+            return
+        with self._lock:
+            payload = {"schema": _SNAPSHOT_SCHEMA,
+                       "entries": dict(self._snapshot)}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.replace(self.path)
+
+    def load(self) -> None:
+        payload = json.loads(self.path.read_text())
+        if payload.get("schema") != _SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported plan-cache schema: {payload.get('schema')}")
+        with self._lock:
+            self._snapshot = dict(payload["entries"])
+
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {"hits": self._hits, "misses": self._misses,
-                    "entries": len(self._plans), "capacity": self.capacity}
+                    "warm_hits": self._disk_hits,
+                    "entries": len(self._plans), "capacity": self.capacity,
+                    "persistent_entries": len(self._snapshot)}
 
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()
+            self._snapshot.clear()
             self._hits = 0
+            self._disk_hits = 0
             self._misses = 0

@@ -106,14 +106,15 @@ class ServiceClient:
                optimize: bool = True, scheduler: str = "auto",
                speculate: bool = False,
                queue_depth: Optional[int] = None,
-               max_size: int = 7, seed: int = 0) -> str:
+               max_size: int = 7, seed: int = 0,
+               priority: str = "normal") -> str:
         """Submit a job; returns its ``job_id`` without waiting."""
         request = JobRequest(
             pipeline=pipeline, files=dict(files or {}), env=dict(env or {}),
             k=k, engine=engine, streaming=streaming, optimize=optimize,
             scheduler=scheduler, speculate=speculate,
             queue_depth=queue_depth, max_size=max_size, seed=seed,
-            client_id=self.client_id)
+            client_id=self.client_id, priority=priority)
         return self.submit_request(request)
 
     def submit_request(self, request: JobRequest) -> str:

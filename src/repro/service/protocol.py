@@ -24,6 +24,7 @@ from ..parallel.executor import RunStats, run_stats_from_dict
 from ..parallel.runner import PROCESSES, SERIAL, THREADS
 from ..parallel.scheduler import AUTO, STATIC, STEALING
 from ..shell import CommandError, ParseError, validate_pipeline_text
+from .scheduler import NORMAL, PRIORITIES
 
 #: job lifecycle states
 JOB_QUEUED = "queued"
@@ -65,6 +66,9 @@ class JobRequest:
     max_size: int = 7
     seed: int = 0
     client_id: str = "anonymous"
+    #: scheduling class (``high`` > ``normal`` > ``low``); runtime-only,
+    #: so it is not part of the plan-cache identity
+    priority: str = NORMAL
 
     # -- validation ----------------------------------------------------------
 
@@ -93,6 +97,10 @@ class JobRequest:
             raise ValidationError(f"seed must be an int, got {self.seed!r}")
         if not isinstance(self.client_id, str) or not self.client_id:
             raise ValidationError("client_id must be a non-empty string")
+        if self.priority not in PRIORITIES:
+            raise ValidationError(
+                f"unknown priority {self.priority!r} "
+                f"(expected one of {PRIORITIES})")
         for mapping, label in ((self.files, "files"), (self.env, "env")):
             if not isinstance(mapping, dict) or any(
                     not isinstance(k, str) or not isinstance(v, str)
@@ -118,7 +126,7 @@ class JobRequest:
             "optimize": self.optimize, "scheduler": self.scheduler,
             "speculate": self.speculate, "queue_depth": self.queue_depth,
             "max_size": self.max_size, "seed": self.seed,
-            "client_id": self.client_id,
+            "client_id": self.client_id, "priority": self.priority,
         }
 
     @classmethod
@@ -130,7 +138,7 @@ class JobRequest:
         unknown = set(data) - {
             "pipeline", "files", "env", "k", "engine", "streaming",
             "optimize", "scheduler", "speculate", "queue_depth",
-            "max_size", "seed", "client_id"}
+            "max_size", "seed", "client_id", "priority"}
         if unknown:
             raise ValidationError(f"unknown request fields: {sorted(unknown)}")
         for label in ("files", "env"):
@@ -151,6 +159,7 @@ class JobRequest:
             max_size=data.get("max_size", 7),
             seed=data.get("seed", 0),
             client_id=data.get("client_id", "anonymous"),
+            priority=data.get("priority", NORMAL),
         )
 
 

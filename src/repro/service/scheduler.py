@@ -1,16 +1,28 @@
 """Admission queue and fair-share job scheduling.
 
 The service multiplexes many clients onto one bounded worker budget.
-Scheduling is **fair-share round-robin across clients**: each client
-gets its own FIFO, and workers pick the head of the next non-empty
-client queue in rotation — a client that dumps 100 jobs cannot starve
-a client that submits one (max-min fairness over job slots, the
-classic stride-scheduling special case for equal weights).
+Scheduling is **priority-tiered fair-share round-robin**: jobs carry a
+priority class (``high`` > ``normal`` > ``low``), workers always drain
+the highest non-empty class, and within a class each client gets its
+own FIFO served round-robin — a client that dumps 100 jobs cannot
+starve a client that submits one (max-min fairness over job slots, the
+classic stride-scheduling special case for equal weights).  Priority
+is strict across classes; operators bound the starvation this permits
+with per-tenant quotas.
 
 Admission control is a hard bound on queued jobs (total and
-per-client); beyond it :meth:`JobScheduler.submit` raises
+per-tenant); beyond it :meth:`JobScheduler.submit` raises
 :class:`SchedulerSaturated`, which the HTTP layer maps to 429 so
 back-pressure reaches the client instead of growing the heap.
+Per-tenant quotas override the global per-client bound for named
+tenants, so one noisy client can be pinned down without squeezing the
+rest.
+
+Shutdown is a separate signal: once :meth:`JobScheduler.stop_admissions`
+has been called the scheduler is *draining* — already-admitted jobs
+keep running to completion, but new submissions raise
+:class:`SchedulerDraining` (HTTP 503, "come back after the restart")
+rather than 429 ("back off and retry here").
 """
 
 from __future__ import annotations
@@ -18,42 +30,65 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from typing import Callable, Deque, Dict, Optional, TypeVar
+from typing import Any, Callable, Deque, Dict, Optional, TypeVar
 
 T = TypeVar("T")
 
+#: job priority classes, highest first
+HIGH = "high"
+NORMAL = "normal"
+LOW = "low"
+PRIORITIES = (HIGH, NORMAL, LOW)
+
 
 class SchedulerSaturated(RuntimeError):
-    """The admission queue is full; the client should back off."""
+    """The admission queue (or a tenant's quota) is full; back off."""
+
+
+class SchedulerDraining(RuntimeError):
+    """The scheduler is draining for shutdown; no new work is admitted."""
 
 
 class JobScheduler:
-    """Bounded worker pool draining per-client queues round-robin.
+    """Bounded worker pool draining per-client queues by priority class.
 
     ``run_job`` is invoked on a worker thread for every submitted item;
     it owns all job bookkeeping (the scheduler never looks inside an
-    item beyond the ``client_id`` passed to :meth:`submit`).
+    item beyond the ``client_id`` and ``priority`` passed to
+    :meth:`submit`).
     """
 
     def __init__(self, run_job: Callable[[T], None], concurrency: int = 2,
                  max_queued: int = 256,
-                 max_queued_per_client: Optional[int] = None) -> None:
+                 max_queued_per_client: Optional[int] = None,
+                 quotas: Optional[Dict[str, int]] = None) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be positive, got {concurrency}")
         if max_queued < 1:
             raise ValueError(f"max_queued must be positive, got {max_queued}")
+        for client, quota in (quotas or {}).items():
+            if quota < 1:
+                raise ValueError(
+                    f"quota for {client!r} must be positive, got {quota}")
         self.run_job = run_job
         self.concurrency = concurrency
         self.max_queued = max_queued
         self.max_queued_per_client = max_queued_per_client
-        self._queues: "OrderedDict[str, Deque[T]]" = OrderedDict()
+        self.quotas: Dict[str, int] = dict(quotas or {})
+        #: per priority class: client_id -> FIFO of queued items
+        self._queues: Dict[str, "OrderedDict[str, Deque[T]]"] = {
+            priority: OrderedDict() for priority in PRIORITIES}
+        self._client_queued: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
         self._queued = 0
+        self._queued_by_class = {priority: 0 for priority in PRIORITIES}
         self._running = 0
         self._submitted = 0
         self._completed = 0
+        self._quota_rejections = 0
+        self._draining = False
         self._stopping = False
         self._workers = [
             threading.Thread(target=self._worker, name=f"repro-job-worker-{i}",
@@ -65,42 +100,63 @@ class JobScheduler:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, client_id: str, item: T) -> None:
+    def _client_bound(self, client_id: str) -> Optional[int]:
+        return self.quotas.get(client_id, self.max_queued_per_client)
+
+    def submit(self, client_id: str, item: T, priority: str = NORMAL) -> None:
+        if priority not in PRIORITIES:
+            raise ValueError(f"unknown priority {priority!r} "
+                             f"(expected one of {PRIORITIES})")
         with self._lock:
-            if self._stopping:
-                raise SchedulerSaturated("scheduler is shutting down")
+            if self._draining or self._stopping:
+                raise SchedulerDraining(
+                    "scheduler is draining for shutdown")
             if self._queued >= self.max_queued:
                 raise SchedulerSaturated(
                     f"admission queue full ({self.max_queued} jobs)")
-            q = self._queues.get(client_id)
+            bound = self._client_bound(client_id)
+            held = self._client_queued.get(client_id, 0)
+            if bound is not None and held >= bound:
+                self._quota_rejections += 1
+                raise SchedulerSaturated(
+                    f"client {client_id!r} is over its quota "
+                    f"({held}/{bound} jobs queued)")
+            tier = self._queues[priority]
+            q = tier.get(client_id)
             if q is None:
                 q = deque()
-                self._queues[client_id] = q
-            if self.max_queued_per_client is not None \
-                    and len(q) >= self.max_queued_per_client:
-                raise SchedulerSaturated(
-                    f"client {client_id!r} already has "
-                    f"{len(q)} jobs queued")
+                tier[client_id] = q
             q.append(item)
             self._queued += 1
+            self._queued_by_class[priority] += 1
+            self._client_queued[client_id] = held + 1
             self._submitted += 1
             self._work.notify()
 
     # -- worker side ---------------------------------------------------------
 
     def _pick(self) -> Optional[T]:
-        # round-robin: serve the first non-empty client queue, then
+        # strict priority across classes; round-robin across clients
+        # within a class: serve the first non-empty client queue, then
         # rotate that client to the back of the order
-        for client_id in list(self._queues):
-            q = self._queues[client_id]
-            if q:
-                item = q.popleft()
-                self._queues.move_to_end(client_id)
-                if not q:
-                    del self._queues[client_id]
-                self._queued -= 1
-                return item
-            del self._queues[client_id]  # stale empty queue
+        for priority in PRIORITIES:
+            tier = self._queues[priority]
+            for client_id in list(tier):
+                q = tier[client_id]
+                if q:
+                    item = q.popleft()
+                    tier.move_to_end(client_id)
+                    if not q:
+                        del tier[client_id]
+                    self._queued -= 1
+                    self._queued_by_class[priority] -= 1
+                    held = self._client_queued.get(client_id, 1) - 1
+                    if held <= 0:
+                        self._client_queued.pop(client_id, None)
+                    else:
+                        self._client_queued[client_id] = held
+                    return item
+                del tier[client_id]  # stale empty queue
         return None
 
     def _worker(self) -> None:
@@ -124,15 +180,16 @@ class JobScheduler:
     # -- lifecycle -----------------------------------------------------------
 
     def stop_admissions(self) -> None:
-        """Reject new submits while already-queued jobs keep running.
+        """Enter the draining state: reject new submits (503) while
+        already-admitted jobs keep running.
 
         Graceful shutdown calls this *before* draining, so a client
         submitting faster than jobs complete cannot hold the drain open
-        forever — it gets :class:`SchedulerSaturated` (HTTP 429) once
-        shutdown begins.
+        forever — it gets :class:`SchedulerDraining` once shutdown
+        begins.
         """
         with self._lock:
-            self._stopping = True
+            self._draining = True
             self._work.notify_all()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -157,27 +214,39 @@ class JobScheduler:
         to finish; without it, queued jobs are abandoned (the caller is
         expected to fail them) and only running jobs are waited on.
         """
+        self.stop_admissions()
         clean = True
         if drain:
             clean = self.drain(timeout=timeout)
         with self._lock:
             self._stopping = True
             if not drain:
-                self._queues.clear()
+                for tier in self._queues.values():
+                    tier.clear()
                 self._queued = 0
+                self._queued_by_class = {p: 0 for p in PRIORITIES}
+                self._client_queued.clear()
             self._work.notify_all()
         for w in self._workers:
             w.join(timeout=timeout)
             clean = clean and not w.is_alive()
         return clean
 
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining or self._stopping
+
     # -- introspection -------------------------------------------------------
 
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> Dict[str, Any]:
         with self._lock:
             return {
                 "queued": self._queued, "running": self._running,
                 "submitted": self._submitted, "completed": self._completed,
-                "clients_waiting": len(self._queues),
+                "clients_waiting": len(self._client_queued),
                 "concurrency": self.concurrency,
+                "queued_by_class": dict(self._queued_by_class),
+                "quota_rejections": self._quota_rejections,
+                "draining": self._draining or self._stopping,
             }

@@ -7,7 +7,8 @@ and the HTTP front end maps it onto a local socket:
 ==========================  =============================================
 ``POST /v1/jobs``           submit a job (JSON :class:`JobRequest`);
                             202 with ``{"job_id": ...}``, 400 on
-                            validation failure, 429 when saturated
+                            validation failure, 429 when saturated or
+                            over quota, 503 while draining for shutdown
 ``GET /v1/jobs/<id>``       job result; ``?wait=1&timeout=30`` blocks
                             until done, ``?output=0`` omits the stream
 ``GET /v1/status``          scheduler / cache / throughput counters
@@ -30,7 +31,7 @@ import json
 import logging
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -39,7 +40,13 @@ from ..core.synthesis.store import CombinerStore, synthesis_memo_stats
 from ..core.synthesis.synthesizer import SynthesisConfig
 from ..parallel.executor import ParallelPipeline
 from ..parallel.runner import RunnerPool
-from .cache import DEFAULT_PLAN_CAPACITY, PlanCache, _default_config
+from .cache import (
+    DEFAULT_PLAN_CAPACITY,
+    HIT_DISK,
+    HIT_MEMORY,
+    PlanCache,
+    _default_config,
+)
 from .protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
     JOB_DONE,
@@ -51,7 +58,7 @@ from .protocol import (
     ValidationError,
     new_job_id,
 )
-from .scheduler import JobScheduler, SchedulerSaturated
+from .scheduler import JobScheduler, SchedulerDraining, SchedulerSaturated
 
 logger = logging.getLogger("repro.service")
 
@@ -68,8 +75,12 @@ class ServiceConfig:
     concurrency: int = 2               # jobs executing at once
     max_queued: int = 256              # admission bound (total)
     max_queued_per_client: Optional[int] = None
+    #: per-tenant admission bounds overriding max_queued_per_client
+    quotas: Dict[str, int] = field(default_factory=dict)
     plan_cache_capacity: int = DEFAULT_PLAN_CAPACITY
     store_path: Optional[str] = None   # persistent combiner store
+    #: plan-cache snapshot surviving daemon restarts (warm starts)
+    plan_cache_path: Optional[str] = None
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES
     job_history: int = DEFAULT_JOB_HISTORY
     max_idle_runners: int = 2
@@ -96,13 +107,15 @@ class ReproService:
             if self.config.store_path else None)
         self.plan_cache = PlanCache(
             capacity=self.config.plan_cache_capacity, store=self.store,
-            config_factory=self.config.config_factory)
+            config_factory=self.config.config_factory,
+            path=self.config.plan_cache_path)
         self.runner_pool = RunnerPool(
             max_idle_per_key=self.config.max_idle_runners)
         self.scheduler = JobScheduler(
             self._execute, concurrency=self.config.concurrency,
             max_queued=self.config.max_queued,
-            max_queued_per_client=self.config.max_queued_per_client)
+            max_queued_per_client=self.config.max_queued_per_client,
+            quotas=self.config.quotas)
         self._jobs: Dict[str, _Job] = {}
         self._history: List[str] = []    # finished job ids, oldest first
         self._jobs_lock = threading.Lock()
@@ -133,8 +146,9 @@ class ReproService:
         with self._jobs_lock:
             self._jobs[result.job_id] = job
         try:
-            self.scheduler.submit(request.client_id, job)
-        except SchedulerSaturated:
+            self.scheduler.submit(request.client_id, job,
+                                  priority=request.priority)
+        except (SchedulerSaturated, SchedulerDraining):
             with self._jobs_lock:
                 self._jobs.pop(result.job_id, None)
             raise
@@ -146,7 +160,8 @@ class ReproService:
         result.status = JOB_RUNNING
         try:
             plan, hit = self.plan_cache.get_or_compile(request)
-            result.plan_cache = "hit" if hit else "miss"
+            result.plan_cache = ("hit" if hit == HIT_MEMORY
+                                 else "warm" if hit == HIT_DISK else "miss")
             runner = self.runner_pool.acquire(
                 engine=request.engine, max_workers=request.k,
                 context=plan.pipeline.context)
@@ -255,9 +270,18 @@ class ReproService:
             ("repro_jobs_done", s["jobs"]["done"]),
             ("repro_jobs_failed", s["jobs"]["failed"]),
             ("repro_jobs_submitted", s["jobs"]["submitted"]),
+            ("repro_jobs_queued_high", s["scheduler"]["queued_by_class"]["high"]),
+            ("repro_jobs_queued_normal",
+             s["scheduler"]["queued_by_class"]["normal"]),
+            ("repro_jobs_queued_low", s["scheduler"]["queued_by_class"]["low"]),
+            ("repro_quota_rejections", s["scheduler"]["quota_rejections"]),
+            ("repro_draining", int(s["scheduler"]["draining"])),
             ("repro_plan_cache_hits", s["plan_cache"]["hits"]),
+            ("repro_plan_cache_warm_hits", s["plan_cache"]["warm_hits"]),
             ("repro_plan_cache_misses", s["plan_cache"]["misses"]),
             ("repro_plan_cache_entries", s["plan_cache"]["entries"]),
+            ("repro_plan_cache_persistent_entries",
+             s["plan_cache"]["persistent_entries"]),
             ("repro_jobs_optimized", s["optimizer"]["jobs_optimized"]),
             ("repro_rewrites_applied", s["optimizer"]["rewrites_applied"]),
             ("repro_runtime_jobs_stealing", s["runtime"]["jobs_stealing"]),
@@ -340,6 +364,7 @@ class ReproService:
             self.runner_pool.close()
             if self.store is not None:
                 self.store.save()
+            self.plan_cache.save()    # no-op without a snapshot path
             self._stop_clean = clean
         finally:
             self._stop_done.set()
@@ -415,6 +440,10 @@ def _make_handler(service: ReproService):
                 result = service.submit(request)
             except ValidationError as exc:
                 return self._json(400, {"error": str(exc)})
+            except SchedulerDraining as exc:
+                # the daemon is winding down: not "try again here later"
+                # (429) but "this instance is going away" (503)
+                return self._json(503, {"error": str(exc)})
             except SchedulerSaturated as exc:
                 return self._json(429, {"error": str(exc)})
             except json.JSONDecodeError as exc:

@@ -64,7 +64,15 @@ class LoadReport:
 
     @property
     def cache_hit_rate(self) -> float:
-        hits = sum(1 for o in self.outcomes if o.plan_cache == "hit")
+        """In-memory plan-cache hits plus warm (restart-snapshot) hits."""
+        hits = sum(1 for o in self.outcomes
+                   if o.plan_cache in ("hit", "warm"))
+        return hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Jobs served by a plan rehydrated from the restart snapshot."""
+        hits = sum(1 for o in self.outcomes if o.plan_cache == "warm")
         return hits / self.jobs if self.jobs else 0.0
 
     @property

@@ -1,0 +1,207 @@
+"""Perf-trajectory harness: schema regression and validator tests.
+
+The expensive end-to-end check runs the suite once (smoke presets,
+scaled further down, subprocess stages excluded) and validates the
+emitted ``BENCH_*.json`` against the checked-in
+``docs/bench_schema.json`` — the schema file is the contract that
+downstream trajectory tooling (``scripts/bench_diff.py``, CI) parses,
+so drift between the emitter and the schema must fail here, not there.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.benchsuite import (
+    ALL_STAGES,
+    BenchOptions,
+    StageRecorder,
+    run_suite,
+    validate_schema,
+)
+
+SCHEMA_PATH = Path(__file__).resolve().parents[2] / "docs" / \
+    "bench_schema.json"
+
+
+@pytest.fixture(scope="module")
+def schema() -> dict:
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def suite_doc(tmp_path_factory):
+    """One tiny suite run shared by every assertion below.
+
+    Subprocess stages (fuzz, smoke) are exercised by CI's bench-smoke
+    job; here they are excluded to keep tier-1 runtime bounded.  The
+    included stages populate all four top-level counter groups.
+    """
+    out = tmp_path_factory.mktemp("bench")
+    options = BenchOptions(
+        smoke=True, out_dir=str(out), runid="testrun-0000000",
+        stages=("table1", "table7", "optimizer", "scheduler", "soak"),
+        k=2, clients=2, concurrency=2,
+        scale=30, optimizer_scale=800, skew_lines=2500, soak_scale=24)
+    return run_suite(options)
+
+
+def test_suite_emits_schema_valid_json(suite_doc, schema):
+    assert suite_doc["_schema_errors"] == []
+    path = Path(suite_doc["_path"])
+    assert path.name == "BENCH_testrun-0000000.json"
+    on_disk = json.loads(path.read_text())
+    assert validate_schema(on_disk, schema) == []
+    # the bookkeeping keys stay out of the emitted document
+    assert "_path" not in on_disk and "_schema_errors" not in on_disk
+
+
+def test_all_stages_succeeded(suite_doc):
+    assert [s["ok"] for s in suite_doc["stages"]] == [True] * 5
+    assert all(s["wall_seconds"] >= 0 for s in suite_doc["stages"])
+
+
+def test_counter_groups_hold_measured_values(suite_doc):
+    """Every group must carry real measurements, not placeholders."""
+    assert suite_doc["latency"]["jobs_per_second"] > 0
+    assert suite_doc["latency"]["p99_seconds"] >= \
+        suite_doc["latency"]["p50_seconds"] > 0
+    sched = suite_doc["scheduler"]
+    assert sched["tasks"] > 0
+    assert sched["retries"] >= 1, "fault injection must surface retries"
+    assert sched["failures"] >= 1
+    opt = suite_doc["optimizer"]
+    assert opt["jobs_optimized"] >= 1
+    assert opt["rewrites_applied"] >= opt["jobs_optimized"]
+    assert opt["hit_rate"] > 0
+    cache = suite_doc["cache"]
+    assert cache["warm_jobs_per_second"] > cache["cold_jobs_per_second"] > 0
+    assert cache["warm_over_cold"] > 1
+    assert cache["hit_rate"] > 0
+    assert cache["persisted_warm_hits"] >= 1, \
+        "daemon restart must serve plans from the snapshot"
+
+
+def test_soak_hardening_metrics(suite_doc):
+    soak = next(s for s in suite_doc["stages"] if s["name"] == "soak")
+    m = soak["metrics"]
+    assert m["quota_rejected_429"] >= 1, "over-quota burst must 429"
+    assert m["quota_rejections"] == m["quota_rejected_429"]
+    assert m["drain_clean"], "graceful drain lost admitted jobs"
+    assert m["drain_completed"] == m["drain_admitted"]
+    assert m["snapshot_persisted"]
+    assert m["restart_warm_hit_rate"] > 0
+    assert m["failures"] == 0 and m["restart_failures"] == 0
+
+
+def test_run_metadata(suite_doc):
+    run = suite_doc["run"]
+    assert run["runid"] == "testrun-0000000"
+    assert run["smoke"] is True
+    assert run["workers"] == 2
+    assert run["python"].count(".") == 2
+    assert run["git_sha"]
+
+
+def test_unknown_stage_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown stages"):
+        run_suite(BenchOptions(out_dir=str(tmp_path), stages=("nope",)))
+
+
+# ---------------------------------------------------------------------------
+# the mini schema validator itself
+
+
+def test_validator_accepts_schema_shaped_payload(schema):
+    minimal = {
+        "schema": 1,
+        "run": {"runid": "r", "timestamp": "t", "git_sha": "s",
+                "python": "3.11.0", "workers": 1, "smoke": False},
+        "stages": [{"name": "soak", "wall_seconds": 1.5, "ok": True,
+                    "metrics": {}}],
+        "latency": {"jobs_per_second": 1.0, "p50_seconds": 0.1,
+                    "p99_seconds": 0.2},
+        "scheduler": {"tasks": 1, "steals": 0, "retries": 0,
+                      "failures": 0, "speculations": 0,
+                      "speculation_wins": 0},
+        "optimizer": {"jobs_optimized": 1, "rewrites_applied": 2,
+                      "hit_rate": 1.0},
+        "cache": {"cold_jobs_per_second": 0.5,
+                  "warm_jobs_per_second": 5.0, "warm_over_cold": 10.0,
+                  "hit_rate": 1.0, "persisted_warm_hits": 3},
+    }
+    assert validate_schema(minimal, schema) == []
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda d: d.pop("cache"), "missing required key 'cache'"),
+    (lambda d: d["run"].pop("git_sha"), "missing required key 'git_sha'"),
+    (lambda d: d["run"].update(workers="four"), "expected integer"),
+    (lambda d: d["run"].update(workers=True), "expected integer"),
+    (lambda d: d["scheduler"].update(steals=-1), "below minimum"),
+    (lambda d: d.update(stages={}), "expected array"),
+    (lambda d: d["stages"][0].update(ok="yes"), "expected boolean"),
+])
+def test_validator_rejects_malformed_payloads(schema, mutate, fragment):
+    doc = {
+        "schema": 1,
+        "run": {"runid": "r", "timestamp": "t", "git_sha": "s",
+                "python": "3.11.0", "workers": 1, "smoke": False},
+        "stages": [{"name": "soak", "wall_seconds": 1.5, "ok": True}],
+        "latency": {"jobs_per_second": 1.0, "p50_seconds": 0.1,
+                    "p99_seconds": 0.2},
+        "scheduler": {"tasks": 1, "steals": 0, "retries": 0,
+                      "failures": 0, "speculations": 0,
+                      "speculation_wins": 0},
+        "optimizer": {"jobs_optimized": 1, "rewrites_applied": 2,
+                      "hit_rate": 1.0},
+        "cache": {"cold_jobs_per_second": 0.5,
+                  "warm_jobs_per_second": 5.0, "warm_over_cold": 10.0,
+                  "hit_rate": 1.0, "persisted_warm_hits": 3},
+    }
+    mutate(doc)
+    errors = validate_schema(doc, json.loads(json.dumps(schema)))
+    assert errors, "mutation must be caught"
+    assert any(fragment in e for e in errors), (fragment, errors)
+
+
+# ---------------------------------------------------------------------------
+# the cross-process stage recorder
+
+
+def test_stage_recorder_round_trip(tmp_path, monkeypatch):
+    from repro.evaluation.benchsuite import STAGE_FILE_ENV
+
+    path = tmp_path / "stages.jsonl"
+    monkeypatch.setenv(STAGE_FILE_ENV, str(path))
+    recorder = StageRecorder.from_env()
+    assert recorder is not None
+    recorder.record("alpha", 1.25, ok=True, jobs=3)
+    with recorder.stage("beta", flavor="timed"):
+        pass
+    with pytest.raises(RuntimeError):
+        with recorder.stage("gamma"):
+            raise RuntimeError("boom")
+    rows = recorder.read()
+    assert [r["name"] for r in rows] == ["alpha", "beta", "gamma"]
+    assert rows[0]["metrics"] == {"jobs": 3}
+    assert rows[1]["ok"] and not rows[2]["ok"]
+    # partial trailing lines (a writer mid-append) are tolerated
+    with open(path, "a") as fh:
+        fh.write('{"name": "trunc')
+    assert [r["name"] for r in recorder.read()] == ["alpha", "beta",
+                                                    "gamma"]
+
+
+def test_recorder_absent_without_env(monkeypatch):
+    from repro.evaluation.benchsuite import STAGE_FILE_ENV
+
+    monkeypatch.delenv(STAGE_FILE_ENV, raising=False)
+    assert StageRecorder.from_env() is None
+
+
+def test_all_stages_constant_matches_registry():
+    from repro.evaluation.benchsuite import _STAGES
+
+    assert set(ALL_STAGES) == set(_STAGES)

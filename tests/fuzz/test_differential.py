@@ -14,12 +14,14 @@ Tier-1 runs the small fixed-seed corpus (deterministic); scale up with
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 import pytest
 
 from repro import parallelize
 from repro.core.synthesis import SynthesisConfig
+from repro.evaluation.benchsuite import StageRecorder
 from repro.parallel import STATIC, STEALING, SchedulerConfig
 
 from .pipegen import corpus
@@ -57,6 +59,8 @@ def test_differential_corpus(fuzz_seed, fuzz_iterations, record_failure,
                              fuzz_config):
     cases = corpus(fuzz_seed, fuzz_iterations)
     failures = []
+    backends_run = 0
+    start = time.perf_counter()
     for ci, (text, inputs) in enumerate(cases):
         k = 2 + (ci % 3)  # 2..4
         for data in inputs:
@@ -71,9 +75,17 @@ def test_differential_corpus(fuzz_seed, fuzz_iterations, record_failure,
                 pp.scheduler = sched
                 pp.scheduler_config = SchedulerConfig(speculate=speculate)
                 actual = pp.run()
+                backends_run += 1
                 if actual != expected:
                     path = record_failure(fuzz_seed, ci, text, data, name,
                                           expected, actual)
                     failures.append(f"case {ci} [{name}] k={k} "
                                     f"pipeline={text!r} -> {path}")
+    # report into the bench suite's BENCH_*.json when invoked by it
+    recorder = StageRecorder.from_env()
+    if recorder is not None:
+        recorder.record("fuzz-corpus", time.perf_counter() - start,
+                        ok=not failures, seed=fuzz_seed, cases=len(cases),
+                        backend_runs=backends_run,
+                        divergences=len(failures))
     assert not failures, "\n".join(failures)

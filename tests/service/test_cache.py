@@ -1,10 +1,12 @@
-"""PlanCache: keying, LRU, and single-flight compilation."""
+"""PlanCache: keying, LRU, single-flight compilation, persistence."""
 
 import threading
 
 import pytest
 
-from repro.service.cache import PlanCache, plan_cache_key
+from repro.parallel.executor import ParallelPipeline
+from repro.service.cache import HIT_DISK, HIT_MEMORY, PlanCache, \
+    plan_cache_key
 from repro.service.protocol import JobRequest
 
 FILES = {"input.txt": "b\na\nb\n"}
@@ -28,8 +30,9 @@ def test_repeat_request_hits(fast_config):
     assert not hit
     plan2, hit2 = cache.get_or_compile(_request())
     assert hit2 and plan2 is plan
-    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
-                             "capacity": cache.capacity}
+    assert cache.stats() == {"hits": 1, "misses": 1, "warm_hits": 0,
+                             "entries": 1, "capacity": cache.capacity,
+                             "persistent_entries": 0}
 
 
 def test_runtime_knobs_share_one_plan(fast_config):
@@ -136,3 +139,60 @@ def test_clear(fast_config):
     cache.clear()
     assert len(cache) == 0
     assert cache.stats()["hits"] == 0
+
+
+# ---------------------------------------------------------------------------
+# persistence: the snapshot survives a "daemon restart" (a fresh cache
+# on the same path) and serves previously compiled plans warm
+
+
+def test_persistence_round_trip(fast_config, tmp_path):
+    path = tmp_path / "plans.json"
+    cache = _cache(fast_config, path=path)
+    plan, hit = cache.get_or_compile(_request())
+    assert not hit
+    assert cache.stats()["persistent_entries"] == 1
+    cache.save()
+    assert path.exists()
+
+    reborn = _cache(fast_config, path=path)  # the "restarted daemon"
+    warm_plan, warm_hit = cache_hit = reborn.get_or_compile(_request())
+    assert warm_hit == HIT_DISK, cache_hit
+    stats = reborn.stats()
+    assert stats["warm_hits"] == 1
+    assert stats["misses"] == 0, "warm hit must not count as a recompile"
+    # the rehydrated plan is executable and byte-identical
+    out = ParallelPipeline(warm_plan, k=2).run()
+    assert out == ParallelPipeline(plan, k=2).run()
+    # and a repeat is now an ordinary in-memory hit
+    _, again = reborn.get_or_compile(_request())
+    assert again == HIT_MEMORY
+
+
+def test_persistence_skips_oversized_requests(fast_config, tmp_path):
+    cache = _cache(fast_config, path=tmp_path / "plans.json",
+                   max_persist_bytes=8)
+    cache.get_or_compile(_request())
+    assert cache.stats()["persistent_entries"] == 0
+
+
+def test_stale_snapshot_falls_back_to_compile(fast_config, tmp_path):
+    path = tmp_path / "plans.json"
+    cache = _cache(fast_config, path=path)
+    cache.get_or_compile(_request())
+    # corrupt every snapshot entry: rehydration must fail closed into
+    # an ordinary cold compile, never a failed job
+    for entry in cache._snapshot.values():
+        entry["pipeline"] = "definitely | not || a pipeline |"
+    cache.save()
+    reborn = _cache(fast_config, path=path)
+    plan, hit = reborn.get_or_compile(_request())
+    assert not hit and plan is not None
+    assert reborn.stats()["misses"] == 1
+
+
+def test_unsupported_snapshot_schema_rejected(fast_config, tmp_path):
+    path = tmp_path / "plans.json"
+    path.write_text('{"schema": 999, "entries": {}}')
+    with pytest.raises(ValueError, match="schema"):
+        _cache(fast_config, path=path)

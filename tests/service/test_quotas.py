@@ -1,0 +1,250 @@
+"""Per-tenant quotas and priority classes under contention.
+
+Scheduler-level tests gate the workers with an event so admission and
+ordering decisions are observed deterministically; the HTTP-level test
+checks the whole path — an over-quota tenant gets 429 while every
+other tenant's jobs proceed untouched.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.scheduler import (
+    HIGH,
+    LOW,
+    NORMAL,
+    JobScheduler,
+    SchedulerSaturated,
+)
+from repro.service.server import ReproService, ServiceConfig
+
+FILES = {"input.txt": "b\na\nc\na\nb\n"}
+ENV = {"IN": "input.txt"}
+
+
+class _Gate:
+    """Holds every worker until released; records execution order."""
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.order = []
+        self.lock = threading.Lock()
+
+    def run_job(self, item):
+        self.event.wait(timeout=10)
+        with self.lock:
+            self.order.append(item)
+
+
+def _drain(scheduler, gate):
+    gate.event.set()
+    assert scheduler.shutdown(drain=True, timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# quotas
+
+
+def test_quota_bounds_one_tenant_without_touching_others():
+    gate = _Gate()
+    scheduler = JobScheduler(gate.run_job, concurrency=1,
+                             quotas={"noisy": 2})
+    try:
+        scheduler.submit("noisy", "n1")
+        time.sleep(0.05)  # let the worker take n1 (held count drops)
+        scheduler.submit("noisy", "n2")
+        scheduler.submit("noisy", "n3")
+        with pytest.raises(SchedulerSaturated, match="quota"):
+            scheduler.submit("noisy", "n4")
+        # an unquota'd tenant is untouched by the noisy one's rejection
+        for i in range(5):
+            scheduler.submit("quiet", f"q{i}")
+        counts = scheduler.counts()
+        assert counts["quota_rejections"] == 1
+    finally:
+        _drain(scheduler, gate)
+    assert set(gate.order) == {"n1", "n2", "n3",
+                               "q0", "q1", "q2", "q3", "q4"}
+
+
+def test_quota_frees_as_jobs_dequeue():
+    gate = _Gate()
+    gate.event.set()  # run jobs immediately
+    scheduler = JobScheduler(gate.run_job, concurrency=1,
+                             quotas={"bounded": 1})
+    try:
+        for i in range(5):  # sequential submits never exceed held=1
+            for _ in range(50):
+                if scheduler.counts()["queued"] == 0:
+                    break
+                time.sleep(0.01)
+            scheduler.submit("bounded", f"job{i}")
+    finally:
+        assert scheduler.shutdown(drain=True, timeout=10)
+    assert len(gate.order) == 5
+    assert scheduler.counts()["quota_rejections"] == 0
+
+
+def test_default_per_client_bound_and_quota_override():
+    gate = _Gate()
+    scheduler = JobScheduler(gate.run_job, concurrency=1,
+                             max_queued_per_client=1,
+                             quotas={"vip": 3})
+    try:
+        scheduler.submit("vip", "v1")
+        time.sleep(0.05)  # v1 starts running; held counts queued only
+        scheduler.submit("vip", "v2")
+        scheduler.submit("vip", "v3")
+        scheduler.submit("vip", "v4")
+        with pytest.raises(SchedulerSaturated, match="quota"):
+            scheduler.submit("vip", "v5")
+        scheduler.submit("default", "d1")
+        with pytest.raises(SchedulerSaturated):
+            scheduler.submit("default", "d2")
+    finally:
+        _drain(scheduler, gate)
+
+
+def test_quota_must_be_positive():
+    with pytest.raises(ValueError, match="quota"):
+        JobScheduler(lambda item: None, quotas={"t": 0})
+
+
+# ---------------------------------------------------------------------------
+# priority classes
+
+
+def test_priority_classes_drain_high_first():
+    gate = _Gate()
+    scheduler = JobScheduler(gate.run_job, concurrency=1)
+    try:
+        scheduler.submit("blocker", "warmup")  # occupies the worker
+        time.sleep(0.05)
+        scheduler.submit("a", "low-1", priority=LOW)
+        scheduler.submit("a", "normal-1", priority=NORMAL)
+        scheduler.submit("b", "high-1", priority=HIGH)
+        scheduler.submit("b", "low-2", priority=LOW)
+        scheduler.submit("a", "high-2", priority=HIGH)
+        counts = scheduler.counts()
+        assert counts["queued_by_class"] == {"high": 2, "normal": 1,
+                                             "low": 2}
+    finally:
+        _drain(scheduler, gate)
+    assert gate.order[0] == "warmup"
+    assert gate.order[1:3] == ["high-1", "high-2"]
+    assert gate.order[3] == "normal-1"
+    assert set(gate.order[4:]) == {"low-1", "low-2"}
+
+
+def test_round_robin_within_a_priority_class():
+    gate = _Gate()
+    scheduler = JobScheduler(gate.run_job, concurrency=1)
+    try:
+        scheduler.submit("blocker", "warmup")
+        time.sleep(0.05)
+        for i in range(3):
+            scheduler.submit("alice", f"alice-{i}")
+        scheduler.submit("bob", "bob-0")
+    finally:
+        _drain(scheduler, gate)
+    # bob's lone job is served after at most one of alice's queued jobs
+    assert gate.order.index("bob-0") <= 2
+
+
+def test_unknown_priority_rejected():
+    gate = _Gate()
+    scheduler = JobScheduler(gate.run_job, concurrency=1)
+    try:
+        with pytest.raises(ValueError, match="priority"):
+            scheduler.submit("a", "x", priority="urgent")
+    finally:
+        _drain(scheduler, gate)
+
+
+# ---------------------------------------------------------------------------
+# the full HTTP path
+
+
+def test_over_quota_tenant_gets_429_while_others_proceed(fast_config):
+    service = ReproService(ServiceConfig(
+        concurrency=1, quotas={"noisy": 1},
+        config_factory=lambda _request: fast_config))
+    service.start_http()
+    gate = threading.Event()
+    original = service.scheduler.run_job
+
+    def gated(job):
+        gate.wait(timeout=10)
+        original(job)
+
+    service.scheduler.run_job = gated
+    try:
+        noisy = ServiceClient(service.url, client_id="noisy")
+        quiet = ServiceClient(service.url, client_id="quiet")
+        first = noisy.submit("cat $IN | sort", files=FILES, env=ENV)
+        while service.scheduler.counts()["running"] != 1:
+            time.sleep(0.01)
+        queued = noisy.submit("cat $IN | sort | uniq", files=FILES, env=ENV)
+        with pytest.raises(ServiceUnavailable) as exc:
+            noisy.submit("cat $IN | uniq", files=FILES, env=ENV)
+        assert exc.value.code == 429
+        assert "quota" in str(exc.value)
+        # the quiet tenant proceeds while the noisy one is rejected
+        unaffected = quiet.submit("cat $IN | sort", files=FILES, env=ENV)
+        gate.set()
+        for job_id in (first, queued, unaffected):
+            assert noisy.wait(job_id, timeout=30).status == "done"
+        assert service.status()["scheduler"]["quota_rejections"] == 1
+        metrics = ServiceClient(service.url).metrics()
+        assert "repro_quota_rejections 1" in metrics
+    finally:
+        gate.set()
+        service.stop()
+
+
+def test_high_priority_request_overtakes_queued_normal(fast_config):
+    service = ReproService(ServiceConfig(
+        concurrency=1, config_factory=lambda _request: fast_config))
+    service.start_http()
+    gate = threading.Event()
+    original = service.scheduler.run_job
+
+    def gated(job):
+        gate.wait(timeout=10)
+        original(job)
+
+    service.scheduler.run_job = gated
+    try:
+        bulk = ServiceClient(service.url, client_id="bulk")
+        urgent = ServiceClient(service.url, client_id="urgent")
+        blocker = bulk.submit("cat $IN | sort", files=FILES, env=ENV)
+        while service.scheduler.counts()["running"] != 1:
+            time.sleep(0.01)
+        queued = [bulk.submit("cat $IN | sort | uniq", files=FILES,
+                              env=ENV) for _ in range(3)]
+        vip = urgent.submit("cat $IN | uniq", files=FILES, env=ENV,
+                            priority="high")
+        gate.set()
+        vip_result = urgent.wait(vip, timeout=30)
+        others = [bulk.wait(j, timeout=30) for j in queued + [blocker]]
+        assert vip_result.status == "done"
+        assert all(r.status == "done" for r in others)
+        # the high-priority job finished before every queued normal job
+        queued_results = others[:-1]
+        assert all(vip_result.finished_at <= r.finished_at
+                   for r in queued_results)
+    finally:
+        gate.set()
+        service.stop()
+
+
+def test_invalid_priority_rejected_with_400(service):
+    client = ServiceClient(service.url)
+    from repro.service.protocol import ValidationError
+
+    with pytest.raises(ValidationError, match="priority"):
+        client.submit("cat $IN | sort", files=FILES, env=ENV,
+                      priority="urgent")

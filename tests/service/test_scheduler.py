@@ -5,7 +5,13 @@ import time
 
 import pytest
 
-from repro.service.scheduler import JobScheduler, SchedulerSaturated
+from repro.service.scheduler import (
+    HIGH,
+    LOW,
+    JobScheduler,
+    SchedulerDraining,
+    SchedulerSaturated,
+)
 
 
 class Gate:
@@ -114,7 +120,7 @@ def test_stop_admissions_rejects_new_but_drains_queued():
     sched.submit("a", "a1")
     sched.submit("b", "b0")
     sched.stop_admissions()
-    with pytest.raises(SchedulerSaturated, match="shutting down"):
+    with pytest.raises(SchedulerDraining, match="draining"):
         sched.submit("c", "c0")   # new work refused...
     gate.release.set()
     assert sched.drain(timeout=5)  # ...but queued jobs still run
@@ -125,7 +131,7 @@ def test_stop_admissions_rejects_new_but_drains_queued():
 def test_submit_after_shutdown_rejected():
     sched = JobScheduler(lambda item: None, concurrency=1)
     sched.shutdown()
-    with pytest.raises(SchedulerSaturated, match="shutting down"):
+    with pytest.raises(SchedulerDraining, match="draining"):
         sched.submit("a", "a0")
 
 

@@ -166,12 +166,72 @@ def test_status_and_metrics_endpoints(service):
     assert 'repro_stage_bytes_out{stage="sort"}' in metrics
 
 
-def test_saturation_maps_to_429(service):
-    service.scheduler.shutdown(drain=True, timeout=5)
-    client = ServiceClient(service.url)
-    with pytest.raises(ServiceUnavailable) as exc:
-        client.submit(PIPELINES[0], files=FILES, env=ENV)
-    assert exc.value.code == 429
+def test_saturation_maps_to_429(fast_config):
+    """A genuinely full admission queue backpressures with 429."""
+    service = ReproService(ServiceConfig(
+        concurrency=1, max_queued=1,
+        config_factory=lambda _request: fast_config))
+    service.start_http()
+    gate = threading.Event()
+    original = service.scheduler.run_job
+
+    def gated(job):
+        gate.wait(timeout=10)
+        original(job)
+
+    service.scheduler.run_job = gated
+    try:
+        client = ServiceClient(service.url)
+        first = client.submit(PIPELINES[0], files=FILES, env=ENV)
+        while service.scheduler.counts()["running"] != 1:
+            time.sleep(0.01)
+        second = client.submit(PIPELINES[1], files=FILES, env=ENV)
+        with pytest.raises(ServiceUnavailable) as exc:
+            client.submit(PIPELINES[2], files=FILES, env=ENV)
+        assert exc.value.code == 429
+        gate.set()
+        assert client.wait(first).status == "done"
+        assert client.wait(second).status == "done"
+    finally:
+        gate.set()
+        service.stop()
+
+
+def test_graceful_drain_finishes_admitted_jobs_and_503s_new(fast_config):
+    """Draining: admitted jobs run to completion, new submits get 503."""
+    service = ReproService(ServiceConfig(
+        concurrency=1, config_factory=lambda _request: fast_config))
+    service.start_http()
+    gate = threading.Event()
+    original = service.scheduler.run_job
+
+    def gated(job):
+        gate.wait(timeout=10)
+        original(job)
+
+    service.scheduler.run_job = gated
+    try:
+        client = ServiceClient(service.url, client_id="drain-tenant")
+        admitted = [client.submit(PIPELINES[i % len(PIPELINES)],
+                                  files=FILES, env=ENV)
+                    for i in range(3)]
+        while service.scheduler.counts()["running"] != 1:
+            time.sleep(0.01)
+        service.scheduler.stop_admissions()
+        with pytest.raises(ServiceUnavailable) as exc:
+            client.submit(PIPELINES[0], files=FILES, env=ENV)
+        assert exc.value.code == 503
+        assert service.scheduler.counts()["draining"]
+        gate.set()
+        # zero admitted jobs lost: all run to completion through drain
+        results = [client.wait(job_id, timeout=30) for job_id in admitted]
+        assert [r.status for r in results] == ["done"] * len(admitted)
+    finally:
+        gate.set()
+        assert service.stop(timeout=10)
+    status = service.status()
+    assert status["jobs"]["done"] == len(admitted)
+    assert status["jobs"]["failed"] == 0
 
 
 def test_unknown_route_404(service):
@@ -257,6 +317,41 @@ def test_shutdown_endpoint_stops_daemon(fast_config):
     assert not client.healthy()
     assert service._stopped
     service.stop()  # idempotent
+
+
+def test_plan_cache_survives_daemon_restart(fast_config, tmp_path):
+    """Stop the daemon, start a new one on the same snapshot path: the
+    same job is served warm — no recompile, no synthesis."""
+    snapshot = tmp_path / "plans.json"
+    config = ServiceConfig(concurrency=2, plan_cache_path=str(snapshot),
+                           config_factory=lambda _request: fast_config)
+    service = ReproService(config)
+    service.start_http()
+    try:
+        first = ServiceClient(service.url).run(PIPELINES[1], files=FILES,
+                                               env=ENV, k=2)
+        assert first.plan_cache == "miss"
+    finally:
+        service.stop()  # persists the snapshot
+    assert snapshot.exists()
+
+    reborn = ReproService(ServiceConfig(
+        concurrency=2, plan_cache_path=str(snapshot),
+        config_factory=lambda _request: fast_config))
+    reborn.start_http()
+    try:
+        again = ServiceClient(reborn.url).run(PIPELINES[1], files=FILES,
+                                              env=ENV, k=2)
+        assert again.status == "done"
+        assert again.plan_cache == "warm"
+        assert again.output == first.output == _serial(PIPELINES[1])
+        stats = reborn.plan_cache.stats()
+        assert stats["warm_hits"] == 1
+        assert stats["misses"] == 0, "restart must not recompile"
+        metrics = ServiceClient(reborn.url).metrics()
+        assert "repro_plan_cache_warm_hits 1" in metrics
+    finally:
+        reborn.stop()
 
 
 def test_jobs_queue_fair_share_over_http(fast_config):
