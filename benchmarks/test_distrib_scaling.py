@@ -1,0 +1,138 @@
+"""Distributed scaling gates: 2 nodes must beat 1, bytes must survive
+node loss.
+
+Two claims ride on the distributed runtime:
+
+* **Scaling** — on the long-running subset (slowest quartile by serial
+  time, the paper's Table 7 analog), the modeled 2-node wall clock
+  must beat the 1-node deployment of the *same* chunk decomposition.
+  The cluster cost model executes every chunk for real (outputs are
+  checked against the serial oracle) and charges each remote task its
+  measured compute plus a per-task network term, so the gate holds
+  exactly when real parallelism outruns shipping costs — tiny scripts
+  are allowed to lose, which is why the gate is the long subset.
+* **Fault tolerance** — every workload script must produce serial
+  bytes on a 2-node cluster even when one node is killed mid-run and
+  its leases are reassigned to the survivor.
+"""
+
+from __future__ import annotations
+
+from repro.distrib import LocalCluster
+from repro.parallel import FaultPolicy
+from repro.parallel.planner import compile_pipeline, synthesize_pipeline
+from repro.evaluation.costmodel import simulate_plan
+from repro.shell.pipeline import Pipeline
+from repro.workloads import ALL_SCRIPTS
+from repro.workloads.runner import build_context, run_serial
+
+SCALE = 1200
+SEED = 3
+SLOTS_PER_NODE = 2
+#: one decomposition for every node count — only placement differs
+N_CHUNKS = 2 * SLOTS_PER_NODE
+
+
+def _script_plans(script, cache, config, scale=SCALE):
+    """Compile every pipeline of a script, chaining intermediate files
+    the way serial execution does (plans carry the pre-state)."""
+    context = build_context(script, scale, SEED)
+    for sp in script.pipelines:
+        pipeline = Pipeline.from_string(sp.text, env=script.env,
+                                        context=context)
+        synthesize_pipeline(pipeline, config=config, cache=cache)
+        yield sp, compile_pipeline(pipeline, cache, optimize=True), context
+
+
+def test_two_nodes_beat_one_on_long_scripts(benchmark, full_sweep,
+                                            synth_config):
+    # rank by measured serial time; the gate runs on the slowest quartile
+    ranked = sorted(ALL_SCRIPTS,
+                    key=lambda s: run_serial(s, SCALE, SEED).seconds,
+                    reverse=True)
+    subset = ranked[: max(1, len(ranked) // 4)]
+
+    def measure():
+        rows = []
+        for script in subset:
+            serial = run_serial(script, SCALE, SEED)
+            t1 = t2 = 0.0
+            outputs = []
+            for sp, plan, context in _script_plans(script, full_sweep,
+                                                   synth_config):
+                run = simulate_plan(plan, SLOTS_PER_NODE,
+                                    n_chunks=N_CHUNKS)
+                t1 += run.modeled_distrib_seconds(
+                    nodes=1, slots_per_node=SLOTS_PER_NODE)
+                t2 += run.modeled_distrib_seconds(
+                    nodes=2, slots_per_node=SLOTS_PER_NODE)
+                if sp.output_file is not None:
+                    context.fs[sp.output_file] = run.output
+                else:
+                    outputs.append(run.output)
+            assert "".join(outputs) == serial.output, script.name
+            rows.append((script.name, t1, t2))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print()
+    print(f"{'script':<28} {'1-node':>9} {'2-node':>9} {'speedup':>8}")
+    for name, t1, t2 in rows:
+        print(f"{name:<28} {t1:>8.3f}s {t2:>8.3f}s {t1 / t2:>7.2f}x")
+    total1 = sum(t1 for _, t1, _ in rows)
+    total2 = sum(t2 for _, _, t2 in rows)
+    print(f"{'TOTAL':<28} {total1:>8.3f}s {total2:>8.3f}s "
+          f"{total1 / total2:>7.2f}x")
+
+    assert total2 < total1, (
+        f"2-node modeled wall clock ({total2:.3f}s) must beat 1-node "
+        f"({total1:.3f}s) on the long-running subset")
+    wins = sum(1 for _, t1, t2 in rows if t2 < t1)
+    assert wins >= len(rows) // 2, \
+        f"only {wins}/{len(rows)} long scripts got faster with a 2nd node"
+
+
+def test_all_scripts_byte_identical_under_node_kill(benchmark, full_sweep,
+                                                    synth_config):
+    scale = 60   # small inputs + small min_chunk_bytes: real sharding
+
+    def sweep():
+        mismatches = []
+        kills = reassignments = 0
+        for i, script in enumerate(ALL_SCRIPTS):
+            serial = run_serial(script, scale, SEED)
+            policy = FaultPolicy(node_kill={i % 2: 1})
+            outputs = []
+            with LocalCluster(nodes=2, k=SLOTS_PER_NODE,
+                              min_chunk_bytes=64, heartbeat_timeout=0.2,
+                              fault_policy=policy,
+                              stage_timeout=60.0) as cluster:
+                for sp, plan, context in _script_plans(
+                        script, full_sweep, synth_config, scale=scale):
+                    out = cluster.run_plan(plan)
+                    reassignments += \
+                        cluster.last_stats.distrib.reassignments
+                    if sp.output_file is not None:
+                        context.fs[sp.output_file] = out
+                    else:
+                        outputs.append(out)
+            kills += policy.injected_node_kills
+            if "".join(outputs) != serial.output:
+                mismatches.append(script.name)
+        return mismatches, kills, reassignments
+
+    mismatches, kills, reassignments = benchmark.pedantic(
+        sweep, rounds=1, iterations=1)
+
+    print()
+    print(f"scripts={len(ALL_SCRIPTS)} node_kills={kills} "
+          f"reassignments={reassignments} mismatches={len(mismatches)}")
+
+    assert not mismatches, \
+        f"distributed output diverged under node kill: {mismatches}"
+    assert kills >= len(ALL_SCRIPTS) // 2, \
+        "node-kill injection barely fired; the sweep is not testing " \
+        f"failure recovery (kills={kills})"
+    assert reassignments >= kills, \
+        "every node kill must strand leases that get reassigned"

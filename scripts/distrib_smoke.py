@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI smoke test for the distributed control plane.
+
+Starts the daemon as a real subprocess with two forked executor nodes
+(``python -m repro serve --nodes 2``), waits for both to join, submits
+``--distribute`` jobs from several tenants, asserts every output is
+byte-identical to the serial reference semantics, checks the node and
+dispatch counters in ``/v1/status``, exercises the ``/v1/nodes``
+membership listing, and verifies the whole tree shuts down cleanly
+(daemon exit 0, executors drained, no orphans).
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/distrib_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.evaluation.benchsuite import StageRecorder  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.shell import Pipeline  # noqa: E402
+from repro.unixsim import ExecContext  # noqa: E402
+
+PIPELINES = [
+    "cat $IN | sort",
+    "cat $IN | sort | uniq -c",
+    "cat $IN | tr a-z A-Z | sort",
+    "cat $IN | grep a | sort | uniq",
+]
+# large enough that the shard planner (8 KiB minimum chunk) actually
+# spreads every parallel stage across both executor nodes
+FILES = {"input.txt":
+         "delta\nalpha\nbravo\nalpha\ncharlie\nbravo\n" * 1500}
+ENV = {"IN": "input.txt"}
+N_JOBS = 8
+N_TENANTS = 4
+N_NODES = 2
+
+
+def serial_reference(pipeline: str) -> str:
+    context = ExecContext(fs=dict(FILES), env=dict(ENV))
+    return Pipeline.from_string(pipeline, env=ENV, context=context).run()
+
+
+def start_daemon() -> "tuple[subprocess.Popen, str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--concurrency", "4", "--nodes", str(N_NODES)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise SystemExit(f"daemon failed to start: {line!r}")
+    url = next(tok for tok in line.split() if tok.startswith("http://"))
+    return proc, url
+
+
+def wait_for_nodes(client: ServiceClient, want: int,
+                   timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        live = [n for n in client.nodes() if n["state"] == "live"]
+        if len(live) >= want:
+            return
+        time.sleep(0.1)
+    raise SystemExit(f"only {len(client.nodes())} executor nodes joined "
+                     f"within {timeout:.0f}s (wanted {want})")
+
+
+def main() -> int:
+    proc, url = start_daemon()
+    print(f"daemon up at {url}")
+    try:
+        probe = ServiceClient(url)
+        assert probe.wait_until_healthy(timeout=10), "daemon not healthy"
+        wait_for_nodes(probe, N_NODES)
+        print(f"{N_NODES} executor nodes joined")
+
+        results = {}
+        errors = []
+
+        def tenant(index: int) -> None:
+            client = ServiceClient(url,
+                                   client_id=f"tenant-{index % N_TENANTS}",
+                                   timeout=600)
+            try:
+                pipeline = PIPELINES[index % len(PIPELINES)]
+                results[index] = (pipeline,
+                                  client.run(pipeline, files=FILES, env=ENV,
+                                             k=2, distribute=True,
+                                             timeout=600))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"job {index}: {exc}")
+
+        threads = [threading.Thread(target=tenant, args=(i,))
+                   for i in range(N_JOBS)]
+        start = time.time()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert len(results) == N_JOBS
+
+        distributed = 0
+        for index, (pipeline, result) in sorted(results.items()):
+            assert result.status == "done", \
+                f"job {index} {result.status}: {result.error}"
+            expected = serial_reference(pipeline)
+            assert result.output == expected, \
+                f"job {index} output diverged for {pipeline!r}"
+            if result.stats is not None and result.stats.distrib is not None:
+                distributed += 1
+        print(f"{N_JOBS} distributed jobs byte-identical "
+              f"in {time.time() - start:.1f}s")
+
+        status = probe.status()
+        distrib = status["distrib"]
+        assert distrib["jobs_distributed"] == distributed == N_JOBS, distrib
+        assert distrib["distrib_fallbacks"] == 0, distrib
+        assert distrib["tasks"] > 0, distrib
+        assert distrib["plan_replications"] >= 1, distrib
+        assert distrib["nodes"]["live"] == N_NODES, distrib
+        listing = probe.nodes()
+        assert [n["ordinal"] for n in listing] == list(range(N_NODES))
+        assert sum(n["tasks_done"] for n in listing) == distrib["tasks"], \
+            listing
+        assert all(n["tasks_done"] > 0 for n in listing), \
+            f"a node sat idle through {N_JOBS} jobs: {listing}"
+        print(f"dispatch: {distrib['tasks']} tasks over {N_NODES} nodes, "
+              f"{distrib['plan_replications']} plan replications, "
+              f"{distrib['bytes_shipped']} bytes shipped")
+
+        probe.shutdown()
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, f"daemon exit code {proc.returncode}"
+        tail = proc.stdout.read()
+        assert tail.count("executor") >= N_NODES, tail
+        print("daemon and executors shut down cleanly")
+
+        recorder = StageRecorder.from_env()
+        if recorder is not None:
+            recorder.record("distrib-smoke", time.time() - start, ok=True,
+                            jobs=N_JOBS, nodes=N_NODES,
+                            tasks=distrib["tasks"],
+                            plan_replications=distrib["plan_replications"])
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

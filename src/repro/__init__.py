@@ -42,7 +42,7 @@ from .parallel import (
 from .shell import Command, Pipeline
 from .unixsim import ExecContext
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Combiner", "CombinerStore", "Command", "CompositeCombiner", "EvalEnv",

@@ -24,9 +24,16 @@ Subcommands:
   parallelism, writing the output stream to stdout (or ``--output``).
 * ``serve`` — run the resident parallelization daemon: jobs are
   accepted over a local HTTP API, scheduled fair-share across clients,
-  and served from a shared compiled-plan cache.
+  and served from a shared compiled-plan cache.  With ``--nodes N``
+  the daemon also forks N local executor processes, making it a
+  one-command distributed cluster.
+* ``executor --join URL`` — join a running daemon as an executor node:
+  pull chunk tasks, run them, return per-chunk outputs (plans arrive
+  by content digest and are cached locally).
 * ``submit PIPELINE`` — send one job to a running daemon and print its
-  output (``--no-wait`` to only print the job id).
+  output (``--no-wait`` to only print the job id; ``--distribute`` to
+  run its chunk tasks on the daemon's executor nodes).
+* ``nodes`` — list a running daemon's executor nodes.
 * ``status`` — print a running daemon's status counters as JSON.
 * ``bench`` — run the perf-trajectory benchmark suite (tables,
   optimizer/scheduler/streaming scenarios, fuzz corpus, service soak)
@@ -212,6 +219,8 @@ def _parse_quotas(pairs: Optional[List[str]]) -> Dict[str, int]:
 
 
 def cmd_serve(args) -> int:
+    import subprocess
+
     from .service.server import ServiceConfig, serve_forever
 
     config = ServiceConfig(
@@ -221,17 +230,93 @@ def cmd_serve(args) -> int:
         quotas=_parse_quotas(args.quota),
         plan_cache_capacity=args.plan_cache_size,
         store_path=args.store, plan_cache_path=args.plan_cache,
-        max_request_bytes=args.max_request_mb * 1024 * 1024)
+        max_request_bytes=args.max_request_mb * 1024 * 1024,
+        heartbeat_timeout=args.heartbeat_timeout)
+    executors: List[subprocess.Popen] = []
 
     def announce(service) -> None:
         print(f"repro service listening on {service.url} "
               f"(concurrency={args.concurrency}, "
               f"plan-cache={args.plan_cache_size}"
               f"{', store=' + args.store if args.store else ''}"
-              f"{', snapshot=' + args.plan_cache if args.plan_cache else ''})",
+              f"{', snapshot=' + args.plan_cache if args.plan_cache else ''}"
+              f"{f', nodes={args.nodes}' if args.nodes else ''})",
               flush=True)
+        # --nodes N: a one-command local cluster — fork N executor
+        # processes joined to this controller over localhost
+        for _ in range(args.nodes):
+            executors.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "executor",
+                 "--join", service.url,
+                 "--capacity", str(args.node_capacity)]))
 
-    return serve_forever(config, ready=announce)
+    try:
+        return serve_forever(config, ready=announce)
+    finally:
+        for proc in executors:
+            proc.terminate()
+        for proc in executors:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def cmd_executor(args) -> int:
+    from .distrib import ExecutorAgent, HttpTransport
+    from .parallel.scheduler import FaultPolicy
+    from .service.client import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.join, timeout=args.timeout)
+    fault_policy = None
+    if args.die_after is not None:
+        # fault-injection hook for resilience drills: complete N tasks,
+        # then crash without completing the next one (keyed by the
+        # ordinal the controller assigns at registration)
+        fault_policy = FaultPolicy()
+    agent = ExecutorAgent(HttpTransport(client), capacity=args.capacity,
+                          node_id=args.node_id, fault_policy=fault_policy,
+                          poll_wait=args.poll_wait)
+    try:
+        agent.register()
+    except Exception as exc:  # noqa: BLE001 - startup failure is exit 2
+        print(f"error: cannot join {args.join}: {exc}", file=sys.stderr)
+        return 2
+    if fault_policy is not None:
+        fault_policy.node_kill = {agent.ordinal: args.die_after}
+    print(f"executor {agent.node_id} joined {args.join} "
+          f"(ordinal={agent.ordinal}, capacity={args.capacity})",
+          flush=True)
+    agent.run()
+    print(f"executor {agent.node_id} exiting "
+          f"(ran={agent.tasks_run}, errors={agent.tasks_errored}, "
+          f"plans={agent.plans_fetched})", flush=True)
+    return 0
+
+
+def cmd_nodes(args) -> int:
+    from .service.client import ServiceClient, ServiceUnavailable
+
+    try:
+        nodes = ServiceClient(args.server, timeout=args.timeout).nodes()
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(nodes, indent=1))
+        return 0
+    if not nodes:
+        print("no executor nodes have registered")
+        return 0
+    header = (f"{'ORDINAL':>7}  {'NODE':<12}  {'STATE':<5}  {'CAP':>3}  "
+              f"{'DONE':>6}  {'FAIL':>5}  {'PULLS':>6}  LAST-SEEN")
+    print(header)
+    for n in nodes:
+        print(f"{n['ordinal']:>7}  {n['node_id']:<12}  {n['state']:<5}  "
+              f"{n['capacity']:>3}  {n['tasks_done']:>6}  "
+              f"{n['tasks_failed']:>5}  {n['pulls']:>6}  "
+              f"{n['last_seen_seconds_ago']:.1f}s ago")
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -268,6 +353,7 @@ def cmd_submit(args) -> int:
             engine=args.engine, streaming=not args.barrier,
             optimize=args.optimize, scheduler=args.scheduler,
             speculate=args.speculate, queue_depth=args.queue_depth,
+            distribute=args.distribute,
             max_size=args.max_size, seed=args.seed)
         if args.no_wait:
             print(job_id)
@@ -388,7 +474,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent combiner store for warm starts")
     sv.add_argument("--max-request-mb", type=int, default=64,
                     help="largest request (pipeline + files) accepted")
+    sv.add_argument("--nodes", type=int, default=0,
+                    help="fork N local executor processes joined to this "
+                         "daemon (a one-command cluster; jobs submitted "
+                         "with --distribute run on them)")
+    sv.add_argument("--node-capacity", type=int, default=2,
+                    help="concurrent chunk tasks per --nodes executor")
+    sv.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                    help="seconds of executor silence before eviction "
+                         "and chunk-task reassignment")
     sv.set_defaults(func=cmd_serve)
+
+    ex = sub.add_parser("executor",
+                        help="join a controller as an executor node")
+    ex.add_argument("--join", required=True, metavar="URL",
+                    help="controller address, e.g. http://127.0.0.1:7070")
+    ex.add_argument("--capacity", type=int, default=2,
+                    help="concurrent chunk tasks pulled per round")
+    ex.add_argument("--node-id", default=None,
+                    help="rejoin under a fixed node id (default: assigned)")
+    ex.add_argument("--poll-wait", type=float, default=0.2,
+                    help="seconds each pull blocks waiting for work")
+    ex.add_argument("--timeout", type=float, default=30.0,
+                    help="controller HTTP timeout")
+    ex.add_argument("--die-after", type=int, default=None, metavar="N",
+                    help="fault drill: crash after completing N tasks")
+    ex.set_defaults(func=cmd_executor)
+
+    nd = sub.add_parser("nodes",
+                        help="list a controller's executor nodes")
+    nd.add_argument("--server", default=_default_server())
+    nd.add_argument("--timeout", type=float, default=10.0)
+    nd.add_argument("--json", action="store_true",
+                    help="raw JSON instead of the table")
+    nd.set_defaults(func=cmd_nodes)
 
     bn = sub.add_parser("bench",
                         help="run the perf-trajectory benchmark suite, "
@@ -433,6 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("auto", "static", "stealing"))
     sb.add_argument("--speculate", action="store_true")
     sb.add_argument("--queue-depth", type=int, default=None)
+    sb.add_argument("--distribute", action="store_true",
+                    help="run chunk tasks on the daemon's executor nodes "
+                         "(falls back to local when none are live)")
     sb.add_argument("--timeout", type=float, default=120.0,
                     help="seconds to wait for the result")
     sb.add_argument("--no-wait", action="store_true",

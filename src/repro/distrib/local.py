@@ -1,0 +1,97 @@
+"""An in-process cluster: controller + N executor threads.
+
+:class:`LocalCluster` wires a :class:`NodePool`, :class:`TaskBoard`,
+and :class:`PlanRegistry` to ``nodes`` executor agents running on
+daemon threads over the :class:`LocalTransport`.  It is the distributed
+runtime with the network removed — the same board, the same leases, the
+same eviction/reassignment paths — which makes it the vehicle for
+``repro serve --nodes N``, the differential fuzz harness's distributed
+backend, and every byte-identity test that injects node failures.
+
+Agents register in construction order, so agent ``i`` always holds
+ordinal ``i`` — that is the key a
+:class:`~repro.parallel.scheduler.FaultPolicy` ``node_kill`` map is
+written against.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from ..parallel.executor import RunStats
+from ..parallel.planner import PipelinePlan
+from ..parallel.scheduler import FaultPolicy, SchedulerConfig
+from .board import TaskBoard
+from .executor import ExecutorAgent, LocalTransport
+from .nodepool import DEFAULT_HEARTBEAT_TIMEOUT, NodePool
+from .plans import PlanRegistry
+from .runner import DEFAULT_STAGE_TIMEOUT, DistributedRunner
+
+
+class LocalCluster:
+    """Context manager running ``nodes`` executor threads in-process."""
+
+    def __init__(self, nodes: int = 2, k: int = 2,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 min_chunk_bytes: Optional[int] = None,
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 fault_policy: Optional[FaultPolicy] = None,
+                 stage_timeout: float = DEFAULT_STAGE_TIMEOUT,
+                 poll_wait: float = 0.05) -> None:
+        self.pool = NodePool(heartbeat_timeout=heartbeat_timeout)
+        self.board = TaskBoard(self.pool,
+                               config=scheduler_config or SchedulerConfig())
+        self.registry = PlanRegistry()
+        self.transport = LocalTransport(self.pool, self.board, self.registry)
+        self.k = k
+        self.min_chunk_bytes = min_chunk_bytes
+        self.fault_policy = fault_policy
+        self.stage_timeout = stage_timeout
+        self.agents: List[ExecutorAgent] = []
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        for _ in range(max(1, nodes)):
+            agent = ExecutorAgent(self.transport, capacity=k,
+                                  fault_policy=fault_policy,
+                                  poll_wait=poll_wait)
+            agent.register()   # here, not in the thread: ordinals must
+            self.agents.append(agent)     # match construction order
+        self.last_stats: Optional[RunStats] = None
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for i, agent in enumerate(self.agents):
+            thread = threading.Thread(
+                target=agent.run, args=(self._stop,),
+                name=f"repro-executor-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def run_plan(self, plan: PipelinePlan,
+                 data: Optional[str] = None) -> str:
+        """Execute one compiled plan on the cluster; byte-identical to
+        the serial run."""
+        runner = DistributedRunner(
+            plan, self.board, self.pool, self.registry, k=self.k,
+            min_chunk_bytes=self.min_chunk_bytes,
+            stage_timeout=self.stage_timeout,
+            fault_policy=self.fault_policy)
+        output = runner.run(data)
+        self.last_stats = runner.last_stats
+        return output
+
+    def close(self) -> None:
+        self._stop.set()
+        self.board.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []

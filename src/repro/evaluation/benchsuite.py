@@ -26,7 +26,9 @@ Layout of the emitted document::
                     speculations, speculation_wins},
       "optimizer": {jobs_optimized, rewrites_applied, hit_rate},
       "cache":     {cold_jobs_per_second, warm_jobs_per_second,
-                    warm_over_cold, hit_rate, persisted_warm_hits}
+                    warm_over_cold, hit_rate, persisted_warm_hits},
+      "distrib":   {nodes, tasks, reassignments, evictions,
+                    jobs_per_second, outputs_identical}
     }
 
 Subprocess stages (fuzz corpus, service smoke) report their own timing
@@ -56,12 +58,13 @@ from ..core.synthesis.synthesizer import SynthesisConfig
 #: their timings to (set by the suite, read via StageRecorder.from_env)
 STAGE_FILE_ENV = "REPRO_BENCH_STAGES"
 
-#: schema version of the emitted BENCH_*.json document
-BENCH_SCHEMA = 1
+#: schema version of the emitted BENCH_*.json document (2: added the
+#: ``distrib`` stage and top-level group)
+BENCH_SCHEMA = 2
 
 #: stage names in execution order
 ALL_STAGES = ("table1", "table7", "optimizer", "scheduler", "streaming",
-              "fuzz", "smoke", "soak")
+              "fuzz", "smoke", "soak", "distrib")
 
 #: benchmark-script subset exercised in --smoke mode: two suites so
 #: table1's "top two per suite" selection is meaningful, biased toward
@@ -575,6 +578,83 @@ def _stage_soak(ctx: _SuiteContext) -> Dict[str, Any]:
     return metrics
 
 
+def _stage_distrib(ctx: _SuiteContext) -> Dict[str, Any]:
+    """Distributed-dispatch throughput: the daemon as a controller with
+    two in-process executor nodes, driving ``--distribute`` jobs and
+    checking byte-identity against the serial oracle."""
+    import threading as _threading
+
+    from ..distrib import ExecutorAgent, LocalTransport
+    from ..service.server import ReproService, ServiceConfig
+    from ..workloads.loadgen import (
+        expected_outputs,
+        run_load,
+        script_requests,
+    )
+
+    opts = ctx.options
+    scripts = _scripts_for(opts)
+    if opts.smoke:
+        scripts = scripts[:4]
+    requests = script_requests(scripts, scale=opts.service_scale,
+                               seed=opts.seed, k=opts.k, engine="serial",
+                               distribute=True)
+    expected = expected_outputs(requests)
+    n_nodes = 2
+    service = ReproService(ServiceConfig(
+        concurrency=opts.concurrency,
+        config_factory=lambda _request: ctx.config))
+    service.start_http()
+    transport = LocalTransport(service.node_pool, service.board,
+                               service.plan_registry)
+    stop = _threading.Event()
+    agents = [ExecutorAgent(transport, capacity=opts.k, poll_wait=0.05)
+              for _ in range(n_nodes)]
+    threads = []
+    for agent in agents:
+        agent.register()
+        thread = _threading.Thread(target=agent.run, args=(stop,),
+                                   daemon=True)
+        thread.start()
+        threads.append(thread)
+    try:
+        report = run_load(service.url, requests, clients=opts.clients,
+                          keep_outputs=True)
+        status = service.status()
+    finally:
+        service.stop()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+    by_index = {o.request_index: o for o in report.outcomes}
+    identical = all(
+        by_index.get(i) is not None and by_index[i].output == want
+        for i, want in enumerate(expected))
+    distrib = status["distrib"]
+    return {
+        "nodes": n_nodes,
+        "jobs": report.jobs,
+        "failures": report.failures,
+        "jobs_per_second": report.jobs_per_second,
+        "jobs_distributed": distrib["jobs_distributed"],
+        "distrib_fallbacks": distrib["distrib_fallbacks"],
+        "tasks": distrib["tasks"],
+        "bytes_shipped": distrib["bytes_shipped"],
+        "plan_replications": distrib["plan_replications"],
+        "reassignments": distrib["reassignments"],
+        "evictions": distrib["evictions"],
+        "speculations": distrib["speculations"],
+        "outputs_identical": identical,
+        "per_node": [{"ordinal": agent.ordinal,
+                      "tasks_run": agent.tasks_run,
+                      "tasks_errored": agent.tasks_errored,
+                      "plans_fetched": agent.plans_fetched,
+                      "jobs_per_second": (agent.tasks_run / report.seconds
+                                          if report.seconds > 0 else 0.0)}
+                     for agent in agents],
+    }
+
+
 _STAGES: Dict[str, Callable[[_SuiteContext], Dict[str, Any]]] = {
     "table1": _stage_table1,
     "table7": _stage_table7,
@@ -584,6 +664,7 @@ _STAGES: Dict[str, Callable[[_SuiteContext], Dict[str, Any]]] = {
     "fuzz": _stage_fuzz,
     "smoke": _stage_smoke,
     "soak": _stage_soak,
+    "distrib": _stage_distrib,
 }
 
 
@@ -618,6 +699,7 @@ def _compose_groups(stages: List[StageResult]) -> Dict[str, Dict[str, Any]]:
     soak = _first(stages, "soak")
     sched = _first(stages, "scheduler")
     opt = _first(stages, "optimizer")
+    dist = _first(stages, "distrib")
     warm_or_cold = soak.get("warm_jobs_per_second",
                             soak.get("cold_jobs_per_second", 0.0))
     return {
@@ -644,6 +726,14 @@ def _compose_groups(stages: List[StageResult]) -> Dict[str, Dict[str, Any]]:
             "warm_over_cold": float(soak.get("warm_over_cold", 0.0)),
             "hit_rate": float(soak.get("warm_hit_rate", 0.0)),
             "persisted_warm_hits": int(soak.get("persisted_warm_hits", 0)),
+        },
+        "distrib": {
+            "nodes": int(dist.get("nodes", 0)),
+            "tasks": int(dist.get("tasks", 0)),
+            "reassignments": int(dist.get("reassignments", 0)),
+            "evictions": int(dist.get("evictions", 0)),
+            "jobs_per_second": float(dist.get("jobs_per_second", 0.0)),
+            "outputs_identical": bool(dist.get("outputs_identical", True)),
         },
     }
 

@@ -24,6 +24,14 @@ under the plan's chunk scheduler — one chunk per worker under
 decomposition (plus a per-task dispatch overhead) under ``stealing``.
 The optimizer's selector prices both placements to decide
 ``PipelinePlan.scheduler``.
+
+It is also **cluster-aware**: :func:`modeled_distrib_makespan` prices
+the same measured chunk costs on ``nodes × slots_per_node`` executor
+slots, charging each task a network-transfer term (per-dispatch RTT
+plus chunk-in/output-out bytes over a modeled link) — the term that
+makes shipping a tiny chunk to a remote node *lose* to running it
+locally, and lets the 2-node-beats-1-node gate run on a single-core
+container.
 """
 
 from __future__ import annotations
@@ -44,6 +52,11 @@ from ..parallel.scheduler import (
 )
 from ..parallel.splitter import split_stream
 from ..parallel.streaming import combine_is_cheap
+
+#: modeled network link between controller and executors: loopback-ish
+#: defaults a LAN deployment would roughly match
+DEFAULT_NET_BANDWIDTH = 200e6    # bytes/second
+DEFAULT_NET_RTT = 1e-3           # seconds per task dispatch+result
 
 
 def modeled_makespan(chunk_seconds: Sequence[float], workers: int,
@@ -75,12 +88,39 @@ def modeled_makespan(chunk_seconds: Sequence[float], workers: int,
     return max(loads)
 
 
+def modeled_distrib_makespan(chunk_seconds: Sequence[float],
+                             chunk_bytes: Sequence[Tuple[int, int]],
+                             nodes: int, slots_per_node: int,
+                             bandwidth: float = DEFAULT_NET_BANDWIDTH,
+                             rtt: float = DEFAULT_NET_RTT) -> float:
+    """Wall-clock of one parallel stage on a modeled cluster.
+
+    Each chunk task charges its measured compute seconds plus the
+    network term — one dispatch/result round trip and its chunk-in +
+    output-out bytes over the link — and lands, online greedy, on the
+    executor slot that frees up first (the task board's pull protocol
+    is exactly this greedy placement: idle slots pull next).  With
+    ``nodes=1`` this prices a single-node deployment of the same
+    decomposition, which is what the scaling gate compares against.
+    """
+    slots = max(1, nodes) * max(1, slots_per_node)
+    loads = [0.0] * slots
+    heapq.heapify(loads)
+    for cost, (nbytes_in, nbytes_out) in zip(chunk_seconds, chunk_bytes):
+        transfer = rtt + (nbytes_in + nbytes_out) / bandwidth
+        heapq.heappush(loads, heapq.heappop(loads) + cost + transfer)
+    return max(loads)
+
+
 @dataclass
 class SimulatedStage:
     display: str
     mode: str
     eliminated: bool
     chunk_seconds: List[float] = field(default_factory=list)
+    #: per-chunk ``(bytes_in, bytes_out)`` — the distributed model's
+    #: network-transfer inputs
+    chunk_bytes: List[Tuple[int, int]] = field(default_factory=list)
     combine_seconds: float = 0.0
     #: cost of splitting the input stream at stage entry; zero when the
     #: previous stage's combiner was eliminated and chunks flowed through
@@ -101,6 +141,23 @@ class SimulatedStage:
         return self.split_seconds + makespan + \
             (0.0 if self.eliminated else self.combine_seconds)
 
+    def modeled_distrib_seconds(self, nodes: int, slots_per_node: int,
+                                bandwidth: float = DEFAULT_NET_BANDWIDTH,
+                                rtt: float = DEFAULT_NET_RTT) -> float:
+        """This stage's charge on a modeled ``nodes``-executor cluster.
+
+        Sequential stages run on the controller (no network term);
+        parallel stages pay per-task transfer and spread over the
+        cluster's slots.
+        """
+        if self.mode == "sequential":
+            return sum(self.chunk_seconds)
+        makespan = modeled_distrib_makespan(
+            self.chunk_seconds, self.chunk_bytes, nodes, slots_per_node,
+            bandwidth=bandwidth, rtt=rtt)
+        return self.split_seconds + makespan + \
+            (0.0 if self.eliminated else self.combine_seconds)
+
 
 @dataclass
 class SimulatedRun:
@@ -112,19 +169,32 @@ class SimulatedRun:
     def modeled_seconds(self) -> float:
         return sum(s.modeled_seconds for s in self.stages)
 
+    def modeled_distrib_seconds(self, nodes: int, slots_per_node: int = 2,
+                                bandwidth: float = DEFAULT_NET_BANDWIDTH,
+                                rtt: float = DEFAULT_NET_RTT) -> float:
+        """Modeled wall-clock of this run on a ``nodes``-executor
+        cluster (same measured chunk costs, cluster placement + network
+        transfer) — the quantity the distrib scaling gate compares
+        across node counts."""
+        return sum(s.modeled_distrib_seconds(nodes, slots_per_node,
+                                             bandwidth=bandwidth, rtt=rtt)
+                   for s in self.stages)
+
 
 def simulate_plan(plan: PipelinePlan, k: int,
                   data: Optional[str] = None,
                   scheduler: Optional[str] = None,
-                  task_overhead: float = DEFAULT_TASK_OVERHEAD
-                  ) -> SimulatedRun:
+                  task_overhead: float = DEFAULT_TASK_OVERHEAD,
+                  n_chunks: Optional[int] = None) -> SimulatedRun:
     """Execute a compiled plan chunk-by-chunk with per-chunk timing.
 
     ``scheduler`` defaults to the plan's own; under ``stealing`` each
     new decomposition is split into the finer chunk count the adaptive
     splitter targets (where the consuming combiner permits it) and
     parallel stages are priced by greedy placement plus per-task
-    overhead — see :func:`modeled_makespan`.
+    overhead — see :func:`modeled_makespan`.  ``n_chunks`` pins the
+    decomposition of every fresh split (the distrib scaling gate uses
+    one decomposition across node counts so only placement differs).
     """
     pipeline = plan.pipeline
     stream: Optional[str] = pipeline._initial_stream(data)
@@ -151,8 +221,8 @@ def simulate_plan(plan: PipelinePlan, k: int,
             record.chunk_seconds.append(time.perf_counter() - t0)
         else:
             if chunks is None:
-                n = k
-                if scheduler == STEALING \
+                n = n_chunks if n_chunks is not None else k
+                if n_chunks is None and scheduler == STEALING \
                         and combine_is_cheap(plan.stages, index):
                     n = stealing_chunk_count(len(stream or ""), k)
                 t0 = time.perf_counter()
@@ -163,6 +233,7 @@ def simulate_plan(plan: PipelinePlan, k: int,
                 t0 = time.perf_counter()
                 outputs.append(stage.command.run(chunk))
                 record.chunk_seconds.append(time.perf_counter() - t0)
+                record.chunk_bytes.append((len(chunk), len(outputs[-1])))
             if stage.eliminated:
                 chunks = outputs
                 stream = None

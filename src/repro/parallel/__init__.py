@@ -10,10 +10,12 @@ between stages) — over three backends (``serial`` / ``threads`` /
 from .combining import KWayCombiner
 from .executor import (
     BARRIER,
+    DistribStats,
     ParallelPipeline,
     RunStats,
     STREAMING,
     StageStats,
+    distrib_stats_from_dict,
     run_stats_from_dict,
 )
 from .planner import (
@@ -33,6 +35,7 @@ from .scheduler import (
     ChunkScheduler,
     FaultPolicy,
     InjectedFault,
+    NodeKilled,
     SCHEDULERS,
     STATIC,
     STEALING,
@@ -54,13 +57,15 @@ from .streaming import (
 
 __all__ = [
     "AUTO", "AdaptiveSplitter", "BARRIER", "ChunkScheduler",
-    "DEFAULT_QUEUE_DEPTH", "FaultPolicy", "InjectedFault", "KWayCombiner",
+    "DEFAULT_QUEUE_DEPTH", "DistribStats", "FaultPolicy", "InjectedFault",
+    "KWayCombiner", "NodeKilled",
     "PARALLEL", "PROCESSES", "ParallelPipeline", "PipelinePlan",
     "RERUN_REDUCTION_THRESHOLD", "RunStats", "RunnerPool", "SCHEDULERS",
     "SEQUENTIAL", "SERIAL", "STATIC", "STEALING", "STREAMING",
     "SchedulerConfig", "SchedulerStats", "StagePlan", "StageRunner",
     "StageStats", "StageTrace", "THREADS", "combine_is_cheap",
-    "compile_pipeline", "merge_intervals", "overlap_seconds", "plan_stage",
+    "compile_pipeline", "distrib_stats_from_dict",
+    "merge_intervals", "overlap_seconds", "plan_stage",
     "prefix_limit", "run_chunk_pipelined", "run_stats_from_dict",
     "scheduler_stats_from_dict", "split_stream", "stealing_chunk_count",
     "synthesize_pipeline",

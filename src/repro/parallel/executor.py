@@ -22,6 +22,7 @@ it just overlaps the work in time.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -83,6 +84,73 @@ class StageStats:
 
 
 @dataclass
+class DistribStats:
+    """Observable behavior of one distributed (multi-node) run.
+
+    Filled by the distrib runner when chunk tasks were dispatched to
+    executor nodes instead of local workers; the service aggregates
+    these per job into its ``/v1/status`` distrib counters.  Mirrors
+    :class:`SchedulerStats` semantics where the names overlap: a
+    *retry* re-enqueues a task whose attempt returned an error, a
+    *reassignment* requeues a task leased to a node that stopped
+    heartbeating, and speculation duplicates an overdue lease on
+    another node (first result wins).
+    """
+
+    #: live executor nodes when the run started
+    nodes: int = 0
+    #: chunk-task dispatches (leases) handed to nodes
+    tasks: int = 0
+    #: chunk bytes shipped to executors
+    bytes_shipped: int = 0
+    #: per-chunk output bytes returned by executors
+    bytes_returned: int = 0
+    #: plan-entry fetches this run's digest triggered (0 once replicas
+    #: are warm: executors cache plans by content digest)
+    plan_replications: int = 0
+    retries: int = 0
+    failures: int = 0
+    #: tasks requeued because their node was evicted mid-lease
+    reassignments: int = 0
+    #: nodes evicted by heartbeat timeout during the run
+    evictions: int = 0
+    speculations: int = 0
+    speculation_wins: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes, "tasks": self.tasks,
+            "bytes_shipped": self.bytes_shipped,
+            "bytes_returned": self.bytes_returned,
+            "plan_replications": self.plan_replications,
+            "retries": self.retries, "failures": self.failures,
+            "reassignments": self.reassignments,
+            "evictions": self.evictions,
+            "speculations": self.speculations,
+            "speculation_wins": self.speculation_wins,
+        }
+
+
+def distrib_stats_from_dict(data: dict) -> DistribStats:
+    return DistribStats(
+        nodes=data.get("nodes", 0), tasks=data.get("tasks", 0),
+        bytes_shipped=data.get("bytes_shipped", 0),
+        bytes_returned=data.get("bytes_returned", 0),
+        plan_replications=data.get("plan_replications", 0),
+        retries=data.get("retries", 0), failures=data.get("failures", 0),
+        reassignments=data.get("reassignments", 0),
+        evictions=data.get("evictions", 0),
+        speculations=data.get("speculations", 0),
+        speculation_wins=data.get("speculation_wins", 0))
+
+
+@dataclass
 class RunStats:
     k: int
     engine: str
@@ -96,6 +164,8 @@ class RunStats:
     rewrites: int = 0
     #: chunk-scheduler behavior (steals/retries/speculation counters)
     scheduler: Optional[SchedulerStats] = None
+    #: multi-node dispatch behavior (None for single-process runs)
+    distrib: Optional[DistribStats] = None
     stages: List[StageStats] = field(default_factory=list)
 
     @property
@@ -117,6 +187,7 @@ class RunStats:
             "data_plane": self.data_plane, "seconds": self.seconds,
             "optimized": self.optimized, "rewrites": self.rewrites,
             "scheduler": self.scheduler.to_dict() if self.scheduler else None,
+            "distrib": self.distrib.to_dict() if self.distrib else None,
             "total_overlap": self.total_overlap,
             "bytes_in": self.bytes_in, "bytes_out": self.bytes_out,
             "stages": [s.to_dict() for s in self.stages],
@@ -126,6 +197,7 @@ class RunStats:
 def run_stats_from_dict(data: dict) -> RunStats:
     """Rebuild :class:`RunStats` from :meth:`RunStats.to_dict` output."""
     scheduler = data.get("scheduler")
+    distrib = data.get("distrib")
     return RunStats(
         k=data["k"], engine=data["engine"],
         data_plane=data.get("data_plane", BARRIER),
@@ -133,6 +205,7 @@ def run_stats_from_dict(data: dict) -> RunStats:
         optimized=data.get("optimized", False),
         rewrites=data.get("rewrites", 0),
         scheduler=scheduler_stats_from_dict(scheduler) if scheduler else None,
+        distrib=distrib_stats_from_dict(distrib) if distrib else None,
         stages=[StageStats(
             display=s["display"], mode=s["mode"],
             eliminated=s.get("eliminated", False),

@@ -89,6 +89,16 @@ class InjectedFault(RuntimeError):
     """A chunk-task failure injected by a :class:`FaultPolicy`."""
 
 
+class NodeKilled(RuntimeError):
+    """An injected whole-node failure: the executor process vanishes.
+
+    Unlike :class:`InjectedFault` — which fails one chunk attempt and is
+    observed by the scheduler as an error — a killed node simply stops
+    pulling, heartbeating, and completing, leaving its leased tasks to
+    be recovered by heartbeat-timeout eviction and reassignment.
+    """
+
+
 class FaultPolicy:
     """Deterministic per-attempt fault injection.
 
@@ -100,20 +110,29 @@ class FaultPolicy:
     runs at full speed.  ``kill_first`` kills
     the first ``n`` attempt-dispatches observed anywhere in the run —
     the "a worker died mid-job" simulation used by the all-scripts
-    fault sweep.  Counters record what was actually injected so tests
-    can equate them with :class:`SchedulerStats`.
+    fault sweep.  ``node_kill`` maps an executor-node *ordinal* (its
+    registration order in the cluster) to the number of chunk tasks it
+    completes before dying with :class:`NodeKilled` — the distributed
+    analogue of ``kill_first``, exercised by the node-failure sweep.
+    Counters record what was actually injected so tests can equate them
+    with :class:`SchedulerStats` (and ``DistribStats``).
     """
 
     def __init__(self,
                  kill: Optional[Dict[Tuple[int, int], int]] = None,
                  delay: Optional[Dict[Tuple[int, int], float]] = None,
-                 kill_first: int = 0) -> None:
+                 kill_first: int = 0,
+                 node_kill: Optional[Dict[int, int]] = None) -> None:
         self.kill = dict(kill or {})
         self.delay = dict(delay or {})
         self.kill_first = kill_first
+        self.node_kill = dict(node_kill or {})
         self.injected_kills = 0
         self.injected_delays = 0
+        self.injected_node_kills = 0
         self._seen_attempts = 0
+        self._node_tasks: Dict[int, int] = {}
+        self._nodes_killed: set = set()
         self._lock = threading.Lock()
 
     def begin_attempt(self, stage_index: int, chunk_index: int,
@@ -142,6 +161,28 @@ class FaultPolicy:
             if seconds > 0.0:
                 self.injected_delays += 1
             return seconds
+
+    def begin_node_task(self, node_ordinal: int) -> None:
+        """Gate one executor-node task dispatch; raises when the node's
+        task budget is exhausted.
+
+        Called by the executor agent before running each pulled task.
+        A node with ``node_kill[ordinal] == n`` completes ``n`` tasks,
+        then dies on the next dispatch — without completing it and
+        without deregistering, exactly like a crashed process.
+        """
+        if node_ordinal not in self.node_kill:
+            return
+        with self._lock:
+            seen = self._node_tasks.get(node_ordinal, 0)
+            if seen >= self.node_kill[node_ordinal]:
+                if node_ordinal not in self._nodes_killed:
+                    self._nodes_killed.add(node_ordinal)
+                    self.injected_node_kills += 1
+                raise NodeKilled(
+                    f"injected node failure: executor ordinal "
+                    f"{node_ordinal} after {seen} tasks")
+            self._node_tasks[node_ordinal] = seen + 1
 
 
 @dataclass

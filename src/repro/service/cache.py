@@ -43,8 +43,11 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..parallel.runner import fs_digest
 
-from ..core.synthesis.store import CombinerStore, result_from_dict, result_to_dict
+from ..core.synthesis.store import CombinerStore
 from ..core.synthesis.synthesizer import SynthesisConfig
+# the snapshot-entry format is shared with distributed plan replication:
+# one serialization feeds both restart warm hits and executor fetches
+from ..distrib.plans import entry_to_plan, plan_to_entry
 from ..parallel.planner import PipelinePlan, compile_pipeline, synthesize_pipeline
 from ..shell.pipeline import Pipeline
 from ..unixsim import ExecContext
@@ -241,37 +244,12 @@ class PlanCache:
             len(k) + len(v) for k, v in request.files.items())
         if size > self.max_persist_bytes:
             return
-        results = []
-        for stage in plan.stages:
-            if stage.synthesis is not None:
-                results.append({"argv": list(stage.command.key()),
-                                "result": result_to_dict(stage.synthesis)})
-        entry = {
-            "pipeline": plan.pipeline.render(),
-            "env": dict(request.env),
-            "files": dict(request.files),
-            "optimized": plan.optimized,
-            "scheduler": plan.scheduler,
-            "rewrites": plan.rewrites,
-            "rewrite_trace": list(plan.rewrite_trace),
-            "results": results,
-        }
+        entry = plan_to_entry(plan, request.files, request.env)
         with self._lock:
             self._snapshot[key_digest(key)] = entry
 
     def _rehydrate(self, entry: dict) -> PipelinePlan:
-        context = ExecContext(fs=dict(entry["files"]),
-                              env=dict(entry["env"]))
-        pipeline = Pipeline.from_string(entry["pipeline"],
-                                        env=entry["env"], context=context)
-        results = {tuple(r["argv"]): result_from_dict(r["result"])
-                   for r in entry["results"]}
-        plan = compile_pipeline(pipeline, results,
-                                optimize=entry["optimized"],
-                                scheduler=entry["scheduler"])
-        plan.rewrites = entry["rewrites"]
-        plan.rewrite_trace = list(entry["rewrite_trace"])
-        return plan
+        return entry_to_plan(entry)
 
     def save(self) -> None:
         """Write the snapshot atomically (temp file + rename); no-op

@@ -29,6 +29,18 @@ from .protocol import JobRequest, JobResult, ValidationError
 DEFAULT_PORT = 7070
 DEFAULT_TIMEOUT = 60.0
 
+#: attempts for idempotent GETs hitting a transient transport error
+GET_RETRIES = 3
+#: first retry backoff (doubles per attempt)
+GET_RETRY_BACKOFF = 0.05
+
+#: transient failures worth retrying on an idempotent request: the
+#: server dropped our connection mid-exchange or the read timed out.
+#: A refused connection is NOT here — nobody is listening, and
+#: hammering a dead port only delays the caller's error handling.
+_RETRYABLE = (ConnectionResetError, BrokenPipeError, socket.timeout,
+              TimeoutError, http.client.BadStatusLine)
+
 
 class ServiceUnavailable(ConnectionError):
     """The daemon could not be reached or returned an error response."""
@@ -60,6 +72,34 @@ class ServiceClient:
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
                  timeout: Optional[float] = None) -> Tuple[int, Any]:
+        """One HTTP exchange; **idempotent GETs** retry transient
+        transport failures (reset mid-read, timed-out read, truncated
+        status line) with bounded backoff.  POSTs never retry here — a
+        submit whose response was lost may well have been admitted, and
+        blind resubmission would duplicate the job.
+        """
+        attempts = GET_RETRIES if method == "GET" else 1
+        backoff = GET_RETRY_BACKOFF
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, body=body,
+                                          timeout=timeout)
+            except _RETRYABLE as exc:
+                if attempt + 1 >= attempts:
+                    raise ServiceUnavailable(
+                        f"cannot reach service at {self.host}:{self.port} "
+                        f"after {attempts} attempts: {exc}") from exc
+                time.sleep(backoff)
+                backoff *= 2
+            except (ConnectionError, socket.timeout, OSError,
+                    http.client.HTTPException) as exc:
+                raise ServiceUnavailable(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None,
+                      timeout: Optional[float] = None) -> Tuple[int, Any]:
         conn = http.client.HTTPConnection(
             self.host, self.port,
             timeout=timeout if timeout is not None else self.timeout)
@@ -72,10 +112,6 @@ class ServiceClient:
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
-        except (ConnectionError, socket.timeout, OSError) as exc:
-            raise ServiceUnavailable(
-                f"cannot reach service at {self.host}:{self.port}: {exc}"
-            ) from exc
         finally:
             conn.close()
         ctype = response.headers.get("Content-Type", "")
@@ -106,6 +142,7 @@ class ServiceClient:
                optimize: bool = True, scheduler: str = "auto",
                speculate: bool = False,
                queue_depth: Optional[int] = None,
+               distribute: bool = False,
                max_size: int = 7, seed: int = 0,
                priority: str = "normal") -> str:
         """Submit a job; returns its ``job_id`` without waiting."""
@@ -113,7 +150,8 @@ class ServiceClient:
             pipeline=pipeline, files=dict(files or {}), env=dict(env or {}),
             k=k, engine=engine, streaming=streaming, optimize=optimize,
             scheduler=scheduler, speculate=speculate,
-            queue_depth=queue_depth, max_size=max_size, seed=seed,
+            queue_depth=queue_depth, distribute=distribute,
+            max_size=max_size, seed=seed,
             client_id=self.client_id, priority=priority)
         return self.submit_request(request)
 
@@ -154,6 +192,43 @@ class ServiceClient:
 
     def status(self) -> Dict[str, Any]:
         return self._checked("GET", "/v1/status")
+
+    # -- executor-node protocol (used by ``repro executor``) -----------------
+
+    def nodes(self) -> list:
+        """The controller's membership table (``repro nodes``)."""
+        return self._checked("GET", "/v1/nodes")["nodes"]
+
+    def register_node(self, node_id: Optional[str] = None,
+                      role: str = "executor",
+                      capacity: int = 2) -> Dict[str, Any]:
+        return self._checked("POST", "/v1/nodes/register",
+                             body={"node_id": node_id, "role": role,
+                                   "capacity": capacity})
+
+    def node_heartbeat(self, node_id: str) -> bool:
+        data = self._checked("POST", f"/v1/nodes/{node_id}/heartbeat",
+                             body={})
+        return bool(data.get("ok"))
+
+    def node_pull(self, node_id: str, max_tasks: int = 2,
+                  wait: float = 0.0) -> Dict[str, Any]:
+        return self._checked("POST", f"/v1/nodes/{node_id}/pull",
+                             body={"max_tasks": max_tasks, "wait": wait},
+                             timeout=self.timeout + wait)
+
+    def node_complete(self, node_id: str, task_id: str,
+                      output: Optional[str] = None,
+                      error: Optional[str] = None,
+                      seconds: float = 0.0) -> bool:
+        data = self._checked("POST", f"/v1/nodes/{node_id}/result",
+                             body={"task_id": task_id, "output": output,
+                                   "error": error, "seconds": seconds})
+        return bool(data.get("accepted"))
+
+    def plan_entry(self, digest: str) -> Dict[str, Any]:
+        """Fetch one plan entry by content digest (replication)."""
+        return self._checked("GET", f"/v1/plans/{digest}")
 
     def metrics(self) -> str:
         return self._checked("GET", "/metrics")

@@ -63,6 +63,10 @@ class JobRequest:
     scheduler: str = AUTO
     speculate: bool = False
     queue_depth: Optional[int] = None
+    #: run the chunk map steps on the cluster's executor nodes (falls
+    #: back to local execution when no node is live); runtime-only, so
+    #: like ``priority`` it is not part of the plan-cache identity
+    distribute: bool = False
     max_size: int = 7
     seed: int = 0
     client_id: str = "anonymous"
@@ -125,6 +129,7 @@ class JobRequest:
             "k": self.k, "engine": self.engine, "streaming": self.streaming,
             "optimize": self.optimize, "scheduler": self.scheduler,
             "speculate": self.speculate, "queue_depth": self.queue_depth,
+            "distribute": self.distribute,
             "max_size": self.max_size, "seed": self.seed,
             "client_id": self.client_id, "priority": self.priority,
         }
@@ -138,7 +143,7 @@ class JobRequest:
         unknown = set(data) - {
             "pipeline", "files", "env", "k", "engine", "streaming",
             "optimize", "scheduler", "speculate", "queue_depth",
-            "max_size", "seed", "client_id", "priority"}
+            "distribute", "max_size", "seed", "client_id", "priority"}
         if unknown:
             raise ValidationError(f"unknown request fields: {sorted(unknown)}")
         for label in ("files", "env"):
@@ -156,6 +161,7 @@ class JobRequest:
             scheduler=data.get("scheduler", AUTO),
             speculate=bool(data.get("speculate", False)),
             queue_depth=data.get("queue_depth"),
+            distribute=bool(data.get("distribute", False)),
             max_size=data.get("max_size", 7),
             seed=data.get("seed", 0),
             client_id=data.get("client_id", "anonymous"),

@@ -15,6 +15,12 @@ and the HTTP front end maps it onto a local socket:
 ``GET /metrics``            the same counters, flat ``name value`` text
 ``GET /v1/healthz``         liveness probe
 ``POST /v1/shutdown``       graceful stop (drains queued jobs first)
+``POST /v1/nodes/register`` executor join (``repro executor --join``)
+``POST /v1/nodes/<id>/...`` ``heartbeat`` / ``pull`` / ``result``: the
+                            chunk-task lease protocol (see
+                            ``docs/DISTRIBUTED.md``)
+``GET /v1/nodes``           membership table (``repro nodes``)
+``GET /v1/plans/<digest>``  plan-entry replication fetch
 ==========================  =============================================
 
 Isolation model: each job's files/env live in the job's own
@@ -38,6 +44,15 @@ from urllib.parse import parse_qs, urlparse
 
 from ..core.synthesis.store import CombinerStore, synthesis_memo_stats
 from ..core.synthesis.synthesizer import SynthesisConfig
+from ..distrib.board import DistribError, TaskBoard, UnknownNode
+from ..distrib.nodepool import (
+    DEFAULT_CAPACITY,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    EXECUTOR_ROLE,
+    NodePool,
+)
+from ..distrib.plans import PlanRegistry
+from ..distrib.runner import DistributedRunner
 from ..parallel.executor import ParallelPipeline
 from ..parallel.runner import RunnerPool
 from .cache import (
@@ -84,6 +99,9 @@ class ServiceConfig:
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES
     job_history: int = DEFAULT_JOB_HISTORY
     max_idle_runners: int = 2
+    #: executor nodes silent for this long are evicted and their leased
+    #: chunk tasks reassigned to surviving nodes
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT
     #: override synthesis knobs per request (tests use fast configs)
     config_factory: Callable[[JobRequest], SynthesisConfig] = _default_config
 
@@ -116,6 +134,12 @@ class ReproService:
             max_queued=self.config.max_queued,
             max_queued_per_client=self.config.max_queued_per_client,
             quotas=self.config.quotas)
+        # distributed control plane: executor membership, the chunk-task
+        # lease board, and the content-addressed plan replica store
+        self.node_pool = NodePool(
+            heartbeat_timeout=self.config.heartbeat_timeout)
+        self.plan_registry = PlanRegistry()
+        self.board = TaskBoard(self.node_pool)
         self._jobs: Dict[str, _Job] = {}
         self._history: List[str] = []    # finished job ids, oldest first
         self._jobs_lock = threading.Lock()
@@ -125,6 +149,12 @@ class ReproService:
         self._runtime = {"jobs_stealing": 0, "tasks": 0, "steals": 0,
                          "retries": 0, "failures": 0, "speculations": 0,
                          "speculation_wins": 0}
+        #: multi-node dispatch behavior aggregated across finished jobs
+        self._distrib = {"jobs_distributed": 0, "distrib_fallbacks": 0,
+                         "tasks": 0, "bytes_shipped": 0, "bytes_returned": 0,
+                         "plan_replications": 0, "retries": 0, "failures": 0,
+                         "reassignments": 0, "evictions": 0,
+                         "speculations": 0, "speculation_wins": 0}
         self._stage_totals: Dict[str, Dict[str, float]] = {}
         self._started_at = time.time()
         self._stopped = False
@@ -162,19 +192,26 @@ class ReproService:
             plan, hit = self.plan_cache.get_or_compile(request)
             result.plan_cache = ("hit" if hit == HIT_MEMORY
                                  else "warm" if hit == HIT_DISK else "miss")
-            runner = self.runner_pool.acquire(
-                engine=request.engine, max_workers=request.k,
-                context=plan.pipeline.context)
-            try:
-                pp = ParallelPipeline(
-                    plan, k=request.k, engine=request.engine, runner=runner,
-                    streaming=request.streaming,
-                    queue_depth=request.queue_depth,
-                    speculate=request.speculate)
-                result.output = pp.run()
-            finally:
-                self.runner_pool.release(runner)
-            result.stats = pp.last_stats
+            distributed = None
+            if request.distribute:
+                distributed = self._run_distributed(result.job_id, plan,
+                                                    request.k)
+            if distributed is not None:
+                result.output, result.stats = distributed
+            else:
+                runner = self.runner_pool.acquire(
+                    engine=request.engine, max_workers=request.k,
+                    context=plan.pipeline.context)
+                try:
+                    pp = ParallelPipeline(
+                        plan, k=request.k, engine=request.engine,
+                        runner=runner, streaming=request.streaming,
+                        queue_depth=request.queue_depth,
+                        speculate=request.speculate)
+                    result.output = pp.run()
+                finally:
+                    self.runner_pool.release(runner)
+                result.stats = pp.last_stats
             final_status = JOB_DONE
         except Exception as exc:  # noqa: BLE001 - job failure is a result
             logger.warning("job %s failed: %s", result.job_id, exc)
@@ -186,6 +223,28 @@ class ReproService:
         result.status = final_status
         self._account(result)
         job.done.set()
+
+    def _run_distributed(self, job_id: str, plan, k: int):
+        """Run a ``distribute`` job on the cluster; ``(output, stats)``,
+        or None to fall back to local execution (no live nodes, or the
+        cluster failed the stage — e.g. every node died mid-job)."""
+        self.board.tick()   # settle evictions before counting nodes
+        if self.node_pool.live_count() == 0:
+            with self._jobs_lock:
+                self._distrib["distrib_fallbacks"] += 1
+            return None
+        runner = DistributedRunner(
+            plan, self.board, self.node_pool, self.plan_registry,
+            k=k, job_id=job_id)
+        try:
+            output = runner.run()
+        except DistribError as exc:
+            logger.warning("job %s fell back to local execution: %s",
+                           job_id, exc)
+            with self._jobs_lock:
+                self._distrib["distrib_fallbacks"] += 1
+            return None
+        return output, runner.last_stats
 
     def _account(self, result: JobResult) -> None:
         with self._jobs_lock:
@@ -205,6 +264,14 @@ class ReproService:
                 for counter in ("tasks", "steals", "retries", "failures",
                                 "speculations", "speculation_wins"):
                     self._runtime[counter] += getattr(sched, counter)
+            distrib = result.stats.distrib
+            if distrib is not None:
+                self._distrib["jobs_distributed"] += 1
+                for counter in ("tasks", "bytes_shipped", "bytes_returned",
+                                "plan_replications", "retries", "failures",
+                                "reassignments", "evictions", "speculations",
+                                "speculation_wins"):
+                    self._distrib[counter] += getattr(distrib, counter)
             for stage in result.stats.stages:
                 agg = self._stage_totals.setdefault(
                     stage.display, {"runs": 0, "bytes_in": 0.0,
@@ -232,6 +299,7 @@ class ReproService:
             done, failed = self._counts[JOB_DONE], self._counts[JOB_FAILED]
             optimizer = dict(self._optimizer)
             runtime = dict(self._runtime)
+            distrib = dict(self._distrib)
             per_stage = [
                 {"display": display,
                  "runs": int(agg["runs"]),
@@ -251,6 +319,9 @@ class ReproService:
             "plan_cache": self.plan_cache.stats(),
             "optimizer": optimizer,
             "runtime": runtime,
+            "distrib": {**distrib, "nodes": self.node_pool.stats(),
+                        "board": self.board.stats(),
+                        "plans": self.plan_registry.stats()},
             "synthesis_memo": synthesis_memo_stats(),
             "runner_pool": {"created": self.runner_pool.created,
                             "reused": self.runner_pool.reused,
@@ -292,6 +363,22 @@ class ReproService:
             ("repro_runtime_speculations", s["runtime"]["speculations"]),
             ("repro_runtime_speculation_wins",
              s["runtime"]["speculation_wins"]),
+            ("repro_nodes_live", s["distrib"]["nodes"]["live"]),
+            ("repro_nodes_registered", s["distrib"]["nodes"]["registered"]),
+            ("repro_nodes_evicted", s["distrib"]["nodes"]["evicted"]),
+            ("repro_distrib_jobs", s["distrib"]["jobs_distributed"]),
+            ("repro_distrib_fallbacks", s["distrib"]["distrib_fallbacks"]),
+            ("repro_distrib_tasks", s["distrib"]["tasks"]),
+            ("repro_distrib_bytes_shipped", s["distrib"]["bytes_shipped"]),
+            ("repro_distrib_bytes_returned", s["distrib"]["bytes_returned"]),
+            ("repro_distrib_plan_replications",
+             s["distrib"]["plan_replications"]),
+            ("repro_distrib_retries", s["distrib"]["retries"]),
+            ("repro_distrib_reassignments", s["distrib"]["reassignments"]),
+            ("repro_distrib_evictions", s["distrib"]["evictions"]),
+            ("repro_distrib_speculations", s["distrib"]["speculations"]),
+            ("repro_distrib_speculation_wins",
+             s["distrib"]["speculation_wins"]),
             ("repro_synthesis_memo_hits", s["synthesis_memo"]["hits"]),
             ("repro_synthesis_memo_misses", s["synthesis_memo"]["misses"]),
             ("repro_runners_created", s["runner_pool"]["created"]),
@@ -355,6 +442,8 @@ class ReproService:
             clean = self.scheduler.shutdown(drain=drain, timeout=timeout)
             if not drain:
                 self._fail_unfinished("service shut down before the job ran")
+            # after the last job drained: tell pulling executors to exit
+            self.board.close()
             if self._httpd is not None:
                 self._httpd.shutdown()
                 self._httpd.server_close()
@@ -408,6 +497,11 @@ def _make_handler(service: ReproService):
                     return self._text(200, service.metrics_text())
                 if url.path.startswith("/v1/jobs/"):
                     return self._get_job(url)
+                if url.path == "/v1/nodes":
+                    return self._json(200,
+                                      {"nodes": service.node_pool.nodes()})
+                if url.path.startswith("/v1/plans/"):
+                    return self._get_plan(url)
                 self._json(404, {"error": f"no route {url.path}"})
             except (ValueError, TypeError) as exc:
                 self._json(400, {"error": str(exc)})
@@ -416,6 +510,10 @@ def _make_handler(service: ReproService):
             url = urlparse(self.path)
             if url.path == "/v1/jobs":
                 return self._submit()
+            if url.path == "/v1/nodes/register":
+                return self._node_register()
+            if url.path.startswith("/v1/nodes/"):
+                return self._node_call(url)
             if url.path == "/v1/shutdown":
                 # respond first; stopping tears down this very listener
                 self._json(200, {"ok": True})
@@ -465,6 +563,76 @@ def _make_handler(service: ReproService):
             if result is None:
                 return self._json(404, {"error": f"unknown job {job_id!r}"})
             self._json(200, result.to_dict(include_output=include_output))
+
+        # node protocol -----------------------------------------------------
+
+        def _read_json(self) -> Dict[str, Any]:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except (TypeError, ValueError):
+                raise ValueError("bad Content-Length") from None
+            if not 0 <= length <= service.config.max_request_bytes * 2:
+                raise ValueError("bad Content-Length")
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("body must be a JSON object")
+            return body
+
+        def _node_register(self) -> None:
+            try:
+                body = self._read_json()
+            except (ValueError, json.JSONDecodeError) as exc:
+                return self._json(400, {"error": str(exc)})
+            node = service.node_pool.register(
+                node_id=body.get("node_id"),
+                role=body.get("role", EXECUTOR_ROLE),
+                capacity=int(body.get("capacity", DEFAULT_CAPACITY)))
+            self._json(200, {
+                "node_id": node.node_id, "ordinal": node.ordinal,
+                "heartbeat_timeout": service.node_pool.heartbeat_timeout})
+
+        def _node_call(self, url) -> None:
+            # /v1/nodes/<id>/{heartbeat,pull,result}
+            parts = url.path[len("/v1/nodes/"):].split("/")
+            if len(parts) != 2 or not parts[0]:
+                return self._json(404, {"error": f"no route {url.path}"})
+            node_id, verb = parts
+            try:
+                body = self._read_json()
+            except (ValueError, json.JSONDecodeError) as exc:
+                return self._json(400, {"error": str(exc)})
+            if verb == "heartbeat":
+                alive = service.node_pool.touch(node_id)
+                return self._json(200, {"ok": alive,
+                                        "reregister": not alive})
+            if verb == "pull":
+                try:
+                    tasks = service.board.pull(
+                        node_id,
+                        max_tasks=body.get("max_tasks"),
+                        wait=min(float(body.get("wait", 0.0)), 30.0))
+                except UnknownNode:
+                    return self._json(200, {"reregister": True})
+                if tasks is None:
+                    return self._json(200, {"draining": True})
+                return self._json(200, {"tasks": tasks})
+            if verb == "result":
+                if "task_id" not in body:
+                    return self._json(400, {"error": "missing task_id"})
+                accepted = service.board.complete(
+                    node_id, body["task_id"], output=body.get("output"),
+                    error=body.get("error"),
+                    seconds=float(body.get("seconds", 0.0)))
+                return self._json(200, {"accepted": accepted})
+            self._json(404, {"error": f"no route {url.path}"})
+
+        def _get_plan(self, url) -> None:
+            digest = url.path[len("/v1/plans/"):]
+            entry = service.plan_registry.entry(digest)
+            if entry is None:
+                return self._json(404,
+                                  {"error": f"unknown plan {digest!r}"})
+            self._json(200, entry)
 
         # response helpers --------------------------------------------------
 

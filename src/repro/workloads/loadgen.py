@@ -104,7 +104,8 @@ class LoadReport:
 def script_requests(scripts: Optional[Sequence[BenchmarkScript]] = None,
                     scale: int = 80, seed: int = 3, k: int = 4,
                     engine: str = "serial",
-                    streaming: bool = True) -> List[JobRequest]:
+                    streaming: bool = True,
+                    distribute: bool = False) -> List[JobRequest]:
     """One job per benchmark script: its first self-contained pipeline.
 
     Multi-pipeline scripts chain through intermediate files, which a
@@ -120,7 +121,8 @@ def script_requests(scripts: Optional[Sequence[BenchmarkScript]] = None,
             continue
         requests.append(JobRequest(
             pipeline=first.text, files=script.make_fs(scale, seed),
-            env=dict(script.env), k=k, engine=engine, streaming=streaming))
+            env=dict(script.env), k=k, engine=engine, streaming=streaming,
+            distribute=distribute))
     return requests
 
 

@@ -1,0 +1,30 @@
+"""Shared fixtures for the distributed-runtime suite.
+
+One compiled plan (synthesis paid once per module) plus its serial
+reference output; cluster tests run the same plan many ways and
+compare bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parallelize
+
+TEXT = "cat in.txt | tr A-Z a-z | sort | uniq -c | sort -rn"
+
+
+def make_data(n: int = 4000) -> str:
+    # large enough that a small min_chunk_bytes shards it across nodes
+    return "".join(f"Word {i % 13} tail\n" for i in range(n))
+
+
+@pytest.fixture(scope="module")
+def pp(tiny_config):
+    return parallelize(TEXT, k=4, files={"in.txt": make_data()},
+                       rewrite=False, config=tiny_config)
+
+
+@pytest.fixture(scope="module")
+def serial_output(pp):
+    return pp.plan.pipeline.run()

@@ -1,0 +1,105 @@
+"""End-to-end LocalCluster runs: byte identity under failures.
+
+The in-process cluster is the real distributed runtime (board, leases,
+plan replication, eviction) minus the network, so these are the
+integration tests for the whole ``repro.distrib`` stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib import DISTRIBUTED, LocalCluster
+from repro.parallel import BARRIER, FaultPolicy
+
+from .conftest import make_data
+
+
+def test_two_node_run_is_byte_identical(pp, serial_output):
+    with LocalCluster(nodes=2, k=2, min_chunk_bytes=64) as cluster:
+        assert cluster.run_plan(pp.plan) == serial_output
+        stats = cluster.last_stats
+    assert stats.engine == DISTRIBUTED
+    assert stats.data_plane == BARRIER
+    assert stats.distrib is not None
+    assert stats.distrib.nodes == 2
+    assert stats.distrib.tasks > 0
+    assert stats.distrib.failures == 0
+    # both executors replicated the plan exactly once
+    assert stats.distrib.plan_replications == 2
+    assert len(cluster.registry) == 1
+
+
+def test_stats_round_trip_through_dict(pp):
+    from repro.parallel import RunStats, run_stats_from_dict
+
+    with LocalCluster(nodes=2, k=2, min_chunk_bytes=64) as cluster:
+        cluster.run_plan(pp.plan)
+        stats = cluster.last_stats
+    data = stats.to_dict()
+    assert data["distrib"]["nodes"] == 2
+    restored = run_stats_from_dict(data)
+    assert isinstance(restored, RunStats)
+    assert restored.distrib.tasks == stats.distrib.tasks
+    assert restored.distrib.plan_replications == 2
+
+
+def test_plan_replicated_once_across_repeat_runs(pp, serial_output):
+    with LocalCluster(nodes=2, k=2, min_chunk_bytes=64) as cluster:
+        assert cluster.run_plan(pp.plan) == serial_output
+        assert cluster.last_stats.distrib.plan_replications == 2
+        assert cluster.run_plan(pp.plan) == serial_output
+        # executors cache by digest: steady state fetches nothing
+        assert cluster.last_stats.distrib.plan_replications == 0
+
+
+def test_node_kill_mid_run_reassigns_and_stays_identical(pp, serial_output):
+    policy = FaultPolicy(node_kill={0: 1})   # node 0 dies after one task
+    with LocalCluster(nodes=2, k=2, min_chunk_bytes=64,
+                      heartbeat_timeout=0.2, fault_policy=policy,
+                      stage_timeout=60.0) as cluster:
+        assert cluster.run_plan(pp.plan) == serial_output
+        stats = cluster.last_stats
+    assert policy.injected_node_kills == 1
+    assert stats.distrib.evictions >= 1
+    assert stats.distrib.reassignments >= 1
+
+
+def test_chunk_kill_consumes_retries_not_correctness(pp, serial_output):
+    policy = FaultPolicy(kill={(1, 0): 1})
+    with LocalCluster(nodes=2, k=2, min_chunk_bytes=64,
+                      fault_policy=policy) as cluster:
+        assert cluster.run_plan(pp.plan) == serial_output
+        stats = cluster.last_stats
+    assert policy.injected_kills == 1
+    assert stats.distrib.retries == 1
+    assert stats.distrib.failures == 1
+
+
+def test_single_node_cluster_still_exact(pp, serial_output):
+    with LocalCluster(nodes=1, k=2, min_chunk_bytes=64) as cluster:
+        assert cluster.run_plan(pp.plan) == serial_output
+        assert cluster.last_stats.distrib.nodes == 1
+
+
+def test_explicit_data_overrides_plan_input(tiny_config):
+    from repro import parallelize
+
+    pp2 = parallelize("cat in.txt | sort", k=2,
+                      files={"in.txt": "b\na\n"}, rewrite=False,
+                      config=tiny_config)
+    override = make_data(200)
+    expected = pp2.plan.pipeline.run(override)
+    with LocalCluster(nodes=2, k=2, min_chunk_bytes=64) as cluster:
+        assert cluster.run_plan(pp2.plan, override) == expected
+
+
+def test_empty_input_distributes_to_the_empty_output(tiny_config):
+    from repro import parallelize
+
+    pp2 = parallelize("cat in.txt | sort | uniq", k=2,
+                      files={"in.txt": ""}, rewrite=False,
+                      config=tiny_config)
+    expected = pp2.plan.pipeline.run()
+    with LocalCluster(nodes=2, k=2, min_chunk_bytes=64) as cluster:
+        assert cluster.run_plan(pp2.plan) == expected

@@ -1,0 +1,68 @@
+"""Plan replication: entry round-trip, digests, and the registry."""
+
+from __future__ import annotations
+
+from repro.distrib import (
+    PlanRegistry,
+    entry_digest,
+    entry_to_plan,
+    plan_to_entry,
+)
+
+
+def _entry(pp):
+    context = pp.plan.pipeline.context
+    return plan_to_entry(pp.plan, context.fs, context.env)
+
+
+def test_entry_round_trip_is_byte_identical(pp, serial_output):
+    entry = _entry(pp)
+    rebuilt = entry_to_plan(entry)
+    assert rebuilt.pipeline.render() == pp.plan.pipeline.render()
+    assert rebuilt.pipeline.run() == serial_output
+
+
+def test_round_trip_preserves_plan_metadata(pp):
+    entry = _entry(pp)
+    rebuilt = entry_to_plan(entry)
+    assert rebuilt.optimized == pp.plan.optimized
+    assert rebuilt.scheduler == pp.plan.scheduler
+    assert rebuilt.rewrites == pp.plan.rewrites
+    assert rebuilt.rewrite_trace == pp.plan.rewrite_trace
+    assert len(rebuilt.stages) == len(pp.plan.stages)
+
+
+def test_digest_is_stable_and_content_addressed(pp):
+    entry = _entry(pp)
+    assert entry_digest(entry) == entry_digest(_entry(pp))
+    # a re-serialized rebuild is the same content, hence the same digest
+    rebuilt = entry_to_plan(entry)
+    context = rebuilt.pipeline.context
+    assert entry_digest(plan_to_entry(rebuilt, context.fs, context.env)) \
+        == entry_digest(entry)
+    # ... and touching any content changes it
+    other = dict(entry, env={**entry["env"], "X": "1"})
+    assert entry_digest(other) != entry_digest(entry)
+
+
+def test_registry_register_is_idempotent(pp):
+    registry = PlanRegistry()
+    context = pp.plan.pipeline.context
+    d1 = registry.register(pp.plan, context.fs, context.env)
+    d2 = registry.register(pp.plan, context.fs, context.env)
+    assert d1 == d2
+    assert len(registry) == 1
+    assert registry.stats() == {"plans": 1, "replications": 0}
+
+
+def test_registry_counts_replication_fetches(pp):
+    registry = PlanRegistry()
+    context = pp.plan.pipeline.context
+    digest = registry.register(pp.plan, context.fs, context.env)
+    assert registry.entry("no-such-digest") is None
+    assert registry.fetches(digest) == 0
+    assert registry.entry(digest)["pipeline"] == pp.plan.pipeline.render()
+    assert registry.entry(digest) is not None
+    assert registry.fetches(digest) == 2
+    assert registry.fetches() == 2
+    assert registry.stats() == {"plans": 1, "replications": 2}

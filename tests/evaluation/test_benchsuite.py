@@ -41,7 +41,8 @@ def suite_doc(tmp_path_factory):
     out = tmp_path_factory.mktemp("bench")
     options = BenchOptions(
         smoke=True, out_dir=str(out), runid="testrun-0000000",
-        stages=("table1", "table7", "optimizer", "scheduler", "soak"),
+        stages=("table1", "table7", "optimizer", "scheduler", "soak",
+                "distrib"),
         k=2, clients=2, concurrency=2,
         scale=30, optimizer_scale=800, skew_lines=2500, soak_scale=24)
     return run_suite(options)
@@ -58,7 +59,7 @@ def test_suite_emits_schema_valid_json(suite_doc, schema):
 
 
 def test_all_stages_succeeded(suite_doc):
-    assert [s["ok"] for s in suite_doc["stages"]] == [True] * 5
+    assert [s["ok"] for s in suite_doc["stages"]] == [True] * 6
     assert all(s["wall_seconds"] >= 0 for s in suite_doc["stages"])
 
 
@@ -81,6 +82,29 @@ def test_counter_groups_hold_measured_values(suite_doc):
     assert cache["hit_rate"] > 0
     assert cache["persisted_warm_hits"] >= 1, \
         "daemon restart must serve plans from the snapshot"
+
+
+def test_distrib_stage_metrics(suite_doc):
+    """The distrib stage must show real multi-node dispatch, with every
+    distributed output byte-identical to the serial oracle."""
+    dist = next(s for s in suite_doc["stages"] if s["name"] == "distrib")
+    m = dist["metrics"]
+    assert m["nodes"] == 2
+    assert m["failures"] == 0
+    assert m["jobs_distributed"] == m["jobs"] > 0
+    assert m["distrib_fallbacks"] == 0
+    assert m["tasks"] > 0
+    assert m["bytes_shipped"] > 0
+    assert m["plan_replications"] >= 1
+    assert m["outputs_identical"], "distributed outputs diverged"
+    per_node = m["per_node"]
+    assert [n["ordinal"] for n in per_node] == [0, 1]
+    assert sum(n["tasks_run"] for n in per_node) == m["tasks"]
+    group = suite_doc["distrib"]
+    assert group["nodes"] == 2
+    assert group["tasks"] == m["tasks"]
+    assert group["outputs_identical"] is True
+    assert group["jobs_per_second"] > 0
 
 
 def test_soak_hardening_metrics(suite_doc):
@@ -115,7 +139,7 @@ def test_unknown_stage_rejected(tmp_path):
 
 def test_validator_accepts_schema_shaped_payload(schema):
     minimal = {
-        "schema": 1,
+        "schema": 2,
         "run": {"runid": "r", "timestamp": "t", "git_sha": "s",
                 "python": "3.11.0", "workers": 1, "smoke": False},
         "stages": [{"name": "soak", "wall_seconds": 1.5, "ok": True,
@@ -130,22 +154,30 @@ def test_validator_accepts_schema_shaped_payload(schema):
         "cache": {"cold_jobs_per_second": 0.5,
                   "warm_jobs_per_second": 5.0, "warm_over_cold": 10.0,
                   "hit_rate": 1.0, "persisted_warm_hits": 3},
+        "distrib": {"nodes": 2, "tasks": 8, "reassignments": 0,
+                    "evictions": 0, "jobs_per_second": 4.0,
+                    "outputs_identical": True},
     }
     assert validate_schema(minimal, schema) == []
 
 
 @pytest.mark.parametrize("mutate, fragment", [
     (lambda d: d.pop("cache"), "missing required key 'cache'"),
+    (lambda d: d.pop("distrib"), "missing required key 'distrib'"),
     (lambda d: d["run"].pop("git_sha"), "missing required key 'git_sha'"),
     (lambda d: d["run"].update(workers="four"), "expected integer"),
     (lambda d: d["run"].update(workers=True), "expected integer"),
     (lambda d: d["scheduler"].update(steals=-1), "below minimum"),
+    (lambda d: d.update(schema=1), "below minimum"),
     (lambda d: d.update(stages={}), "expected array"),
     (lambda d: d["stages"][0].update(ok="yes"), "expected boolean"),
+    (lambda d: d["distrib"].update(outputs_identical="yes"),
+     "expected boolean"),
+    (lambda d: d["distrib"].update(nodes=-1), "below minimum"),
 ])
 def test_validator_rejects_malformed_payloads(schema, mutate, fragment):
     doc = {
-        "schema": 1,
+        "schema": 2,
         "run": {"runid": "r", "timestamp": "t", "git_sha": "s",
                 "python": "3.11.0", "workers": 1, "smoke": False},
         "stages": [{"name": "soak", "wall_seconds": 1.5, "ok": True}],
@@ -159,6 +191,9 @@ def test_validator_rejects_malformed_payloads(schema, mutate, fragment):
         "cache": {"cold_jobs_per_second": 0.5,
                   "warm_jobs_per_second": 5.0, "warm_over_cold": 10.0,
                   "hit_rate": 1.0, "persisted_warm_hits": 3},
+        "distrib": {"nodes": 2, "tasks": 8, "reassignments": 0,
+                    "evictions": 0, "jobs_per_second": 4.0,
+                    "outputs_identical": True},
     }
     mutate(doc)
     errors = validate_schema(doc, json.loads(json.dumps(schema)))

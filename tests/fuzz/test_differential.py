@@ -21,6 +21,7 @@ import pytest
 
 from repro import parallelize
 from repro.core.synthesis import SynthesisConfig
+from repro.distrib import LocalCluster
 from repro.evaluation.benchsuite import StageRecorder
 from repro.parallel import STATIC, STEALING, SchedulerConfig
 
@@ -31,6 +32,7 @@ from .pipegen import corpus
 _SYNTH_CACHE: Dict = {}
 
 #: (name, streaming, engine, scheduler, speculate); threaded backends
+#: (and the multi-node ``distrib`` engine, which runs executor threads)
 #: are exercised on a rotating subset of cases to bound tier-1 runtime
 BACKENDS = [
     ("barrier-static", False, "serial", STATIC, False),
@@ -38,6 +40,7 @@ BACKENDS = [
     ("streaming-serial", True, "serial", STATIC, False),
     ("streaming-threads-static", True, "threads", STATIC, False),
     ("streaming-threads-stealing", True, "threads", STEALING, True),
+    ("distrib-2node", False, "distrib", STATIC, False),
 ]
 _THREADED_EVERY = 3
 
@@ -50,9 +53,22 @@ def fuzz_config() -> SynthesisConfig:
 
 def _backends_for(case_index: int):
     for name, streaming, engine, sched, speculate in BACKENDS:
-        if engine == "threads" and case_index % _THREADED_EVERY:
+        if engine in ("threads", "distrib") \
+                and case_index % _THREADED_EVERY:
             continue
         yield name, streaming, engine, sched, speculate
+
+
+def _run_distrib(pp, k: int) -> str:
+    """Run the compiled plan on an in-process two-node cluster.
+
+    A small ``min_chunk_bytes`` keeps the fuzz corpus's tiny inputs
+    actually sharded across both executors instead of collapsing to a
+    single remote task.
+    """
+    with LocalCluster(nodes=2, k=k, min_chunk_bytes=64,
+                      stage_timeout=60.0) as cluster:
+        return cluster.run_plan(pp.plan)
 
 
 def test_differential_corpus(fuzz_seed, fuzz_iterations, record_failure,
@@ -70,11 +86,15 @@ def test_differential_corpus(fuzz_seed, fuzz_iterations, record_failure,
             expected = pp.plan.pipeline.run()
             for name, streaming, engine, sched, speculate in \
                     _backends_for(ci):
-                pp.streaming = streaming
-                pp.engine = engine
-                pp.scheduler = sched
-                pp.scheduler_config = SchedulerConfig(speculate=speculate)
-                actual = pp.run()
+                if engine == "distrib":
+                    actual = _run_distrib(pp, k)
+                else:
+                    pp.streaming = streaming
+                    pp.engine = engine
+                    pp.scheduler = sched
+                    pp.scheduler_config = SchedulerConfig(
+                        speculate=speculate)
+                    actual = pp.run()
                 backends_run += 1
                 if actual != expected:
                     path = record_failure(fuzz_seed, ci, text, data, name,

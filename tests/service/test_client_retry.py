@@ -1,0 +1,113 @@
+"""Client transport retries: idempotent GETs only, bounded backoff.
+
+A tiny raw-socket server plays a flaky daemon — it slams the first N
+connections shut before answering (which the client sees as
+``RemoteDisconnected``, a retryable transient) and then serves a real
+HTTP response.  GETs must ride out the flakiness; POSTs must not be
+resubmitted, because a submit whose response was lost may already have
+been admitted.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import (
+    GET_RETRIES,
+    ServiceClient,
+    ServiceUnavailable,
+)
+
+
+class FlakyServer:
+    """Accept loop that drops the first ``drops`` connections cold."""
+
+    def __init__(self, drops: int, body: dict) -> None:
+        self.drops = drops
+        self.payload = json.dumps(body).encode("utf-8")
+        self.connections = 0
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return                    # listener closed: test over
+            self.connections += 1
+            if self.connections <= self.drops:
+                conn.close()              # no status line at all
+                continue
+            try:
+                conn.recv(65536)          # drain the request
+                response = (
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: "
+                    + str(len(self.payload)).encode() + b"\r\n"
+                    b"Connection: close\r\n\r\n" + self.payload)
+                conn.sendall(response)
+            finally:
+                conn.close()
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+@pytest.fixture()
+def flaky():
+    servers = []
+
+    def make(drops: int, body: dict) -> FlakyServer:
+        server = FlakyServer(drops, body)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def test_get_retries_transient_disconnects(flaky):
+    server = flaky(GET_RETRIES - 1, {"ok": True})
+    client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=5.0)
+    assert client.healthy()
+    assert server.connections == GET_RETRIES
+
+
+def test_get_gives_up_after_bounded_attempts(flaky):
+    server = flaky(GET_RETRIES, {"ok": True})
+    client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=5.0)
+    with pytest.raises(ServiceUnavailable, match="attempts"):
+        client.status()
+    assert server.connections == GET_RETRIES
+
+
+def test_post_is_never_retried(flaky):
+    server = flaky(1, {"job_id": "j-1"})
+    client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=5.0)
+    with pytest.raises(ServiceUnavailable):
+        client.submit("cat in.txt", files={"in.txt": "x\n"})
+    assert server.connections == 1       # one shot: no blind resubmit
+    # the same daemon answering first-try accepts the job normally
+    assert client.submit("cat in.txt", files={"in.txt": "x\n"}) == "j-1"
+
+
+def test_refused_connection_is_not_retried():
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()                        # nothing listens here now
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=1.0)
+    with pytest.raises(ServiceUnavailable) as exc:
+        client.status()
+    assert "attempts" not in str(exc.value)
